@@ -1,0 +1,153 @@
+// Command benchrunner regenerates the paper's evaluation tables and figures
+// (§5) and prints them in paper-shaped rows. See EXPERIMENTS.md for the
+// mapping and the expected comparative shapes.
+//
+// Usage:
+//
+//	benchrunner [-exp all|1a|1b|1c|1d|1e|2|3|4|5] [-scale small|medium]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"enrichdb/internal/bench"
+)
+
+func main() {
+	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 2, 3, 4, 5, ablation, ingest")
+	scaleFlag := flag.String("scale", "small", "dataset scale: small or medium")
+	flag.Parse()
+
+	var scale bench.Scale
+	switch *scaleFlag {
+	case "small":
+		scale = bench.Small()
+	case "medium":
+		scale = bench.Medium()
+	default:
+		log.Fatalf("unknown scale %q", *scaleFlag)
+	}
+
+	want := func(id string) bool { return *expFlag == "all" || *expFlag == id }
+	ran := false
+	start := time.Now()
+
+	if want("1a") {
+		run("Exp 1a", func() ([]*bench.Table, error) {
+			t, err := bench.Exp1aNumEnrichments(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("1b") {
+		run("Exp 1b", func() ([]*bench.Table, error) {
+			t, err := bench.Exp1bSelectivity(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("1c") {
+		run("Exp 1c", func() ([]*bench.Table, error) {
+			t, _, err := bench.Exp1cCumulative(scale, 15)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("1d") {
+		run("Exp 1d", func() ([]*bench.Table, error) {
+			t, err := bench.Exp1dLatency(scale, 3)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("1e") {
+		run("Exp 1e", func() ([]*bench.Table, error) {
+			t, err := bench.Exp1eTimeSplit(scale, 2*time.Millisecond)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("2") {
+		run("Exp 2", func() ([]*bench.Table, error) {
+			fig7, fig6, err := bench.Exp2Progressiveness(scale)
+			return []*bench.Table{fig7, fig6}, err
+		})
+		ran = true
+	}
+	if want("3") {
+		run("Exp 3", func() ([]*bench.Table, error) {
+			t, err := bench.Exp3PlanStrategies(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("4") {
+		run("Exp 4", func() ([]*bench.Table, error) {
+			t, err := bench.Exp4Overhead(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("5") {
+		run("Exp 5", func() ([]*bench.Table, error) {
+			sizes, cutoff, err := bench.Exp5Storage(scale)
+			return []*bench.Table{sizes, cutoff}, err
+		})
+		ran = true
+	}
+	if want("ablation") {
+		run("Ablations", func() ([]*bench.Table, error) {
+			probe, err := bench.AblationProbe(scale)
+			if err != nil {
+				return nil, err
+			}
+			opt, err := bench.AblationOptimizer(scale)
+			if err != nil {
+				return nil, err
+			}
+			batch, err := bench.AblationBatching(scale, 100*time.Microsecond)
+			if err != nil {
+				return nil, err
+			}
+			return []*bench.Table{probe, opt, batch}, nil
+		})
+		ran = true
+	}
+	if want("det") {
+		run("Determinizer comparison", func() ([]*bench.Table, error) {
+			t, err := bench.DeterminizerComparison(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if want("ingest") {
+		run("Ingestion rate", func() ([]*bench.Table, error) {
+			t, err := bench.IngestionRate(500, []time.Duration{
+				10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond,
+			})
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q; use all, 1a, 1b, 1c, 1d, 1e, 2, 3, 4, 5, ablation, det or ingest", *expFlag)
+	}
+	fmt.Printf("done in %s (scale %s)\n", time.Since(start).Round(time.Millisecond), scale.Name)
+}
+
+func run(name string, fn func() ([]*bench.Table, error)) {
+	fmt.Println(strings.Repeat("-", 72))
+	fmt.Printf("%s\n\n", name)
+	tables, err := fn()
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	for _, t := range tables {
+		t.Fprint(os.Stdout)
+	}
+}

@@ -1,0 +1,163 @@
+// Command enrichdb is an interactive query runner over a generated demo
+// database (the paper's TweetData/MultiPie/State schemas with trained
+// enrichment functions). Queries execute under the chosen design and print
+// rows plus enrichment statistics.
+//
+// Usage:
+//
+//	enrichdb [-design loose|tight|plain] [-tweets N] [-images N] [-q "SELECT ..."]
+//
+// Without -q it reads queries from stdin, one per line. Special inputs:
+// ".help", ".stats", ".explain <query>", ".design <name>", ".quit".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"enrichdb/internal/bench"
+	"enrichdb/internal/dataset"
+	"enrichdb/internal/expr"
+)
+
+func main() {
+	design := flag.String("design", "tight", "execution design: loose, tight or plain")
+	tweets := flag.Int("tweets", 2000, "TweetData size")
+	images := flag.Int("images", 800, "MultiPie size")
+	query := flag.String("q", "", "single query to run (otherwise read stdin)")
+	flag.Parse()
+
+	scale := bench.Small()
+	scale.Tweets = *tweets
+	scale.Images = *images
+	fmt.Fprintf(os.Stderr, "generating %d tweets, %d images and training enrichment functions...\n",
+		*tweets, *images)
+	env, err := bench.NewEnv(scale, dataset.SingleFunctionSpecs())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "ready. relations: TweetData(topic, sentiment derived), MultiPie(gender, expression derived), State\n")
+
+	r := &runner{env: env, design: *design}
+	if *query != "" {
+		if err := r.exec(*query); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line != "" {
+			if done := r.command(line); done {
+				return
+			}
+		}
+		fmt.Print("> ")
+	}
+}
+
+type runner struct {
+	env    *bench.Env
+	design string
+}
+
+func (r *runner) command(line string) (quit bool) {
+	switch {
+	case line == ".quit" || line == ".exit":
+		return true
+	case line == ".help":
+		fmt.Println("enter a SELECT query, or: .design loose|tight|plain, .explain <query>, .paper, .stats, .quit")
+	case line == ".paper":
+		// Run the paper's nine query templates under the current design.
+		scale := bench.Small()
+		scale.Tweets = r.env.Data.Config.Tweets
+		scale.Images = r.env.Data.Config.Images
+		scale.TopicDomain = r.env.Data.Config.TopicDomain
+		for qi, q := range scale.Queries() {
+			fmt.Printf("-- Q%d: %s\n", qi+1, q)
+			if err := r.exec(q); err != nil {
+				fmt.Println("error:", err)
+			}
+		}
+	case line == ".stats":
+		c := r.env.Mgr.Counters()
+		fmt.Printf("enrichments=%d skipped=%d re-executions=%d state=%dB enrich-time=%v\n",
+			c.Enrichments, c.Skipped, c.ReExecutions, r.env.Mgr.StateSizeBytes(), c.EnrichTime.Round(time.Millisecond))
+	case strings.HasPrefix(line, ".design "):
+		d := strings.TrimSpace(strings.TrimPrefix(line, ".design "))
+		if d != "loose" && d != "tight" && d != "plain" {
+			fmt.Println("designs: loose, tight, plain")
+		} else {
+			r.design = d
+			fmt.Printf("design = %s\n", d)
+		}
+	case strings.HasPrefix(line, ".explain "):
+		q := strings.TrimPrefix(line, ".explain ")
+		plan, err := r.env.TightDriver().Explain(q)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			fmt.Print(plan)
+		}
+	default:
+		if err := r.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+	return false
+}
+
+func (r *runner) exec(q string) error {
+	start := time.Now()
+	var rows []*expr.Row
+	var enrichments int64
+	switch r.design {
+	case "loose":
+		res, err := r.env.LooseDriver().Execute(q)
+		if err != nil {
+			return err
+		}
+		rows, enrichments = res.Rows, res.Enrichments
+	case "tight":
+		res, err := r.env.TightDriver().Execute(q)
+		if err != nil {
+			return err
+		}
+		rows, enrichments = res.Rows, res.Enrichments
+	case "plain":
+		var err error
+		rows, err = r.env.ExecutePlain(q)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown design %q", r.design)
+	}
+	elapsed := time.Since(start)
+
+	limit := 20
+	for i, row := range rows {
+		if i == limit {
+			fmt.Printf("... (%d more rows)\n", len(rows)-limit)
+			break
+		}
+		cells := make([]string, len(row.Vals))
+		for ci, v := range row.Vals {
+			cells[ci] = v.String()
+			if len(cells[ci]) > 24 {
+				cells[ci] = cells[ci][:21] + "..."
+			}
+		}
+		fmt.Println(strings.Join(cells, " | "))
+	}
+	fmt.Printf("-- %d rows, %d enrichments, %v (%s design)\n",
+		len(rows), enrichments, elapsed.Round(time.Millisecond), r.design)
+	return nil
+}

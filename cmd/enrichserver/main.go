@@ -1,0 +1,51 @@
+// Command enrichserver runs a standalone enrichment server for the loose
+// design: it trains the demo enrichment functions over the same seeded
+// synthetic distribution as its clients and serves EnrichBatch RPCs over
+// TCP. A client built from the same seed and sizes holds identical models,
+// emulating the paper's model deployment on a separate AWS server.
+//
+// Usage:
+//
+//	enrichserver [-addr 127.0.0.1:7707] [-seed 1] [-tweets N] [-images N]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"enrichdb/internal/bench"
+	"enrichdb/internal/dataset"
+	"enrichdb/internal/loose/remote"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7707", "listen address")
+	seed := flag.Int64("seed", 1, "dataset/model seed (must match the client)")
+	tweets := flag.Int("tweets", 2000, "TweetData size (must match the client)")
+	images := flag.Int("images", 800, "MultiPie size (must match the client)")
+	flag.Parse()
+
+	scale := bench.Small()
+	scale.Seed = *seed
+	scale.Tweets = *tweets
+	scale.Images = *images
+	log.Printf("training enrichment functions (seed %d)...", *seed)
+	env, err := bench.NewEnv(scale, dataset.SingleFunctionSpecs())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, bound, err := remote.Serve(*addr, env.Mgr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("enrichment server listening on %s", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Println("shutting down")
+}

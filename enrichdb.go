@@ -1,0 +1,364 @@
+// Package enrichdb is a relational data management system that supports
+// complex enrichment of data at query time, reproducing the system of
+// "Supporting Complex Query Time Enrichment For Analytics" (EDBT 2023).
+//
+// Relations mix fixed attributes with derived attributes whose values are
+// produced by ML enrichment functions. Instead of enriching at ingestion,
+// enrichdb enriches lazily during query processing, in either of the paper's
+// two architectures:
+//
+//   - the loose design (QueryLoose): probe queries compute the minimal tuple
+//     set to enrich, an enrichment server (in process or over TCP) enriches
+//     it in batch, and the query then runs normally;
+//   - the tight design (QueryTight): the query is rewritten so predicates
+//     over derived attributes invoke UDFs that enrich lazily inside
+//     predicate evaluation, with short-circuiting avoiding needless work.
+//
+// Both designs come in progressive form (QueryProgressive): execution is
+// split into cost-budgeted epochs over function families with a cost/quality
+// tradeoff, and an incrementally maintained view refines the answer as
+// enrichment proceeds.
+package enrichdb
+
+import (
+	"fmt"
+	"time"
+
+	"enrichdb/internal/catalog"
+	"enrichdb/internal/engine"
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/loose"
+	"enrichdb/internal/loose/remote"
+	"enrichdb/internal/ml"
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/storage"
+	"enrichdb/internal/tight"
+	"enrichdb/internal/types"
+)
+
+// Value is a database value (NULL, INT, FLOAT, TEXT, BOOL or VECTOR).
+type Value = types.Value
+
+// Null is the NULL value.
+var Null = types.Null
+
+// Value constructors.
+var (
+	Int    = types.NewInt
+	Float  = types.NewFloat
+	String = types.NewString
+	Bool   = types.NewBool
+	Vector = types.NewVector
+)
+
+// Kind is a column type.
+type Kind = types.Kind
+
+// Column kinds.
+const (
+	KindInt    = types.KindInt
+	KindFloat  = types.KindFloat
+	KindString = types.KindString
+	KindBool   = types.KindBool
+	KindVector = types.KindVector
+)
+
+// Column declares one attribute of a relation. Derived attributes require a
+// FeatureCol (the fixed column whose value feeds the enrichment functions)
+// and a Domain (the number of class labels).
+type Column struct {
+	Name       string
+	Kind       Kind
+	Derived    bool
+	FeatureCol string
+	Domain     int
+}
+
+// Classifier is a trainable probabilistic classifier usable as an
+// enrichment function. The internal model zoo (NewGNB, NewRandomForest, …)
+// satisfies it, as can user implementations.
+type Classifier = ml.Classifier
+
+// DB is an enrichdb database instance.
+type DB struct {
+	store *storage.DB
+	mgr   *enrich.Manager
+
+	enricher loose.Enricher
+	servers  []*remote.Server
+
+	// TightInvokeOverhead adds an artificial per-UDF-call cost to the tight
+	// design, emulating a heavier DBMS's per-row UDF invocation overhead.
+	TightInvokeOverhead time.Duration
+}
+
+// Open creates an empty database.
+func Open() *DB {
+	store := storage.NewDB()
+	mgr := enrich.NewManager()
+	return &DB{
+		store:    store,
+		mgr:      mgr,
+		enricher: &loose.LocalEnricher{Mgr: mgr},
+	}
+}
+
+// CreateRelation defines a relation.
+func (db *DB) CreateRelation(name string, cols []Column) error {
+	cc := make([]catalog.Column, len(cols))
+	for i, c := range cols {
+		cc[i] = catalog.Column{
+			Name: c.Name, Kind: c.Kind, Derived: c.Derived,
+			FeatureCol: c.FeatureCol, Domain: c.Domain,
+		}
+	}
+	schema, err := catalog.NewSchema(name, cc)
+	if err != nil {
+		return err
+	}
+	_, err = db.store.CreateTable(schema)
+	return err
+}
+
+// CreateIndex builds a hash index on a fixed column.
+func (db *DB) CreateIndex(relation, column string) error {
+	tbl, err := db.store.Table(relation)
+	if err != nil {
+		return err
+	}
+	return tbl.CreateIndex(column)
+}
+
+// Insert stores a tuple; values are positional per the relation's columns.
+// Derived attributes should be inserted as Null (they are enriched at query
+// time). A zero id auto-assigns.
+func (db *DB) Insert(relation string, id int64, values ...Value) (int64, error) {
+	tbl, err := db.store.Table(relation)
+	if err != nil {
+		return 0, err
+	}
+	return tbl.Insert(&types.Tuple{ID: id, Vals: values})
+}
+
+// InsertEnriched stores a tuple and eagerly enriches every derived
+// attribute with its full function family before returning — the
+// at-ingestion strategy the paper's Baseline uses. It is provided for
+// completeness and for measuring the ingestion-rate cost of eager
+// enrichment; the query-time designs exist to avoid it.
+func (db *DB) InsertEnriched(relation string, id int64, values ...Value) (int64, error) {
+	tid, err := db.Insert(relation, id, values...)
+	if err != nil {
+		return 0, err
+	}
+	tbl, err := db.store.Table(relation)
+	if err != nil {
+		return 0, err
+	}
+	schema := tbl.Schema()
+	tu := tbl.Get(tid)
+	for _, attr := range schema.DerivedCols() {
+		fam := db.mgr.Family(relation, attr)
+		if fam == nil {
+			continue // no functions registered for this attribute
+		}
+		col := schema.Col(attr)
+		feature := tu.Vals[schema.ColIndex(col.FeatureCol)].Vector()
+		for _, fn := range fam.Functions {
+			if _, err := db.mgr.Execute(relation, tid, attr, fn.ID, feature); err != nil {
+				return 0, err
+			}
+		}
+		v, err := db.mgr.Determine(relation, tid, attr, feature)
+		if err != nil {
+			return 0, err
+		}
+		if _, err := tbl.Update(tid, attr, v); err != nil {
+			return 0, err
+		}
+	}
+	return tid, nil
+}
+
+// Update replaces one column of one tuple. Updating any column of a tuple
+// resets its enrichment state (§3.3.5 of the paper): stale derived values
+// must be recomputed.
+func (db *DB) Update(relation string, id int64, column string, v Value) error {
+	tbl, err := db.store.Table(relation)
+	if err != nil {
+		return err
+	}
+	if _, err := tbl.Update(id, column, v); err != nil {
+		return err
+	}
+	schema := tbl.Schema()
+	if c := schema.Col(column); c != nil && !c.Derived {
+		db.mgr.ResetTuple(relation, id)
+		// Clear now-stale determined values.
+		for _, dc := range schema.DerivedCols() {
+			if _, err := tbl.Update(id, dc, types.Null); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Delete removes a tuple and its enrichment state.
+func (db *DB) Delete(relation string, id int64) error {
+	tbl, err := db.store.Table(relation)
+	if err != nil {
+		return err
+	}
+	if tbl.Delete(id) == nil {
+		return fmt.Errorf("enrichdb: %s has no tuple %d", relation, id)
+	}
+	db.mgr.ResetTuple(relation, id)
+	return nil
+}
+
+// Function couples a trained classifier with the metadata the progressive
+// planner uses.
+type Function struct {
+	// Name identifies the function in reports; defaults to the model name.
+	Name string
+	// Model is the trained classifier. Its PredictProba must return a
+	// distribution over the derived attribute's domain.
+	Model Classifier
+	// Quality is the function's estimated accuracy (for SB(FO) ordering).
+	Quality float64
+	// ExtraCost adds an artificial per-object cost, e.g. to emulate a
+	// heavyweight model.
+	ExtraCost time.Duration
+}
+
+// RegisterEnrichment attaches a function family to a derived attribute. All
+// families of a relation must be registered before the first enrichment.
+// The determinizer defaults to averaging the executed functions'
+// distributions (see WithDeterminizer options on Register* variants below).
+func (db *DB) RegisterEnrichment(relation, attr string, fns ...Function) error {
+	return db.registerEnrichment(relation, attr, enrich.AvgProb{}, fns...)
+}
+
+// RegisterEnrichmentMajority is RegisterEnrichment with a majority-vote
+// determinization function.
+func (db *DB) RegisterEnrichmentMajority(relation, attr string, fns ...Function) error {
+	return db.registerEnrichment(relation, attr, enrich.MajorityVote{}, fns...)
+}
+
+func (db *DB) registerEnrichment(relation, attr string, det enrich.Determinizer, fns ...Function) error {
+	schema := db.store.Catalog().Schema(relation)
+	if schema == nil {
+		return fmt.Errorf("enrichdb: unknown relation %s", relation)
+	}
+	col := schema.Col(attr)
+	if col == nil || !col.Derived {
+		return fmt.Errorf("enrichdb: %s.%s is not a derived attribute", relation, attr)
+	}
+	efs := make([]*enrich.Function, len(fns))
+	for i, f := range fns {
+		name := f.Name
+		if name == "" && f.Model != nil {
+			name = f.Model.Name()
+		}
+		efs[i] = &enrich.Function{
+			Name: name, Model: f.Model, Quality: f.Quality, ExtraCost: f.ExtraCost,
+		}
+	}
+	fam, err := enrich.NewFamily(relation, attr, col.Domain, det, efs...)
+	if err != nil {
+		return err
+	}
+	return db.mgr.Register(fam)
+}
+
+// SetStateCutoff applies the state-cutoff threshold of §3.2: stored
+// probabilities below the threshold are pruned, shrinking the state tables
+// at the price of occasional re-executions during determinization.
+func (db *DB) SetStateCutoff(threshold float64) {
+	db.mgr.SetCutoff(threshold)
+}
+
+// ServeEnrichment starts an enrichment server for the loose design on addr
+// (use "127.0.0.1:0" for an ephemeral port) and returns its address. The
+// server executes this database's registered function families.
+func (db *DB) ServeEnrichment(addr string) (string, error) {
+	srv, bound, err := remote.Serve(addr, db.mgr)
+	if err != nil {
+		return "", err
+	}
+	db.servers = append(db.servers, srv)
+	return bound, nil
+}
+
+// ConnectEnrichmentServer points the loose design at a remote enrichment
+// server instead of the default in-process one. extraLatency, if positive,
+// is added per batch to emulate a longer link.
+func (db *DB) ConnectEnrichmentServer(addr string, extraLatency time.Duration) error {
+	client, err := remote.Dial(addr)
+	if err != nil {
+		return err
+	}
+	client.ExtraLatency = extraLatency
+	if old, ok := db.enricher.(*remote.Client); ok {
+		old.Close()
+	}
+	db.enricher = client
+	return nil
+}
+
+// UseLocalEnrichment reverts the loose design to in-process enrichment.
+func (db *DB) UseLocalEnrichment() {
+	if old, ok := db.enricher.(*remote.Client); ok {
+		old.Close()
+	}
+	db.enricher = &loose.LocalEnricher{Mgr: db.mgr}
+}
+
+// Close releases transports started by this DB.
+func (db *DB) Close() error {
+	if c, ok := db.enricher.(*remote.Client); ok {
+		c.Close()
+	}
+	for _, s := range db.servers {
+		s.Close()
+	}
+	return nil
+}
+
+// Stats returns cumulative enrichment counters.
+func (db *DB) Stats() EnrichmentStats {
+	c := db.mgr.Counters()
+	return EnrichmentStats{
+		Enrichments:    c.Enrichments,
+		Skipped:        c.Skipped,
+		ReExecutions:   c.ReExecutions,
+		StateSizeBytes: db.mgr.StateSizeBytes(),
+	}
+}
+
+// EnrichmentStats summarizes enrichment activity and state storage.
+type EnrichmentStats struct {
+	Enrichments    int64
+	Skipped        int64
+	ReExecutions   int64
+	StateSizeBytes int64
+}
+
+// analyzeSQL parses and analyzes a query against this database.
+func (db *DB) analyzeSQL(query string) (*engine.Analysis, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return engine.Analyze(stmt, db.store.Catalog())
+}
+
+// looseDriver builds the current loose driver.
+func (db *DB) looseDriver() *loose.Driver {
+	return &loose.Driver{DB: db.store, Mgr: db.mgr, Enricher: db.enricher}
+}
+
+// tightDriver builds the current tight driver.
+func (db *DB) tightDriver() *tight.Driver {
+	return &tight.Driver{DB: db.store, Mgr: db.mgr, InvokeOverhead: db.TightInvokeOverhead}
+}

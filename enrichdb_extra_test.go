@@ -1,0 +1,200 @@
+package enrichdb
+
+import (
+	"testing"
+	"time"
+)
+
+func TestInsertEnrichedEager(t *testing.T) {
+	db, dataX, truth := buildReviewDB(t)
+	// Insert a fresh tuple eagerly: its rating must be non-NULL immediately.
+	id, err := db.InsertEnriched("Reviews", 0,
+		Int(9999), Vector(dataX[0]), String("north"), Int(1), Null)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := db.Query("SELECT rating FROM Reviews WHERE id = 9999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 1 || rows.At(0)[0].IsNull() {
+		t.Fatalf("eager insert must enrich immediately: %v", rows.At(0))
+	}
+	// Two family functions executed.
+	if got := db.Stats().Enrichments; got != 2 {
+		t.Errorf("enrichments = %d want 2", got)
+	}
+	// A later query-time run must not re-enrich it.
+	before := db.Stats().Enrichments
+	if _, err := db.QueryLoose("SELECT * FROM Reviews WHERE rating = 1 AND id = 9999"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Stats().Enrichments != before {
+		t.Error("eagerly enriched tuple must not be re-enriched at query time")
+	}
+	_ = id
+	_ = truth
+}
+
+func TestInsertEnrichedErrors(t *testing.T) {
+	db := Open()
+	if _, err := db.InsertEnriched("Missing", 0); err == nil {
+		t.Error("unknown relation must fail")
+	}
+	// A relation with a derived attribute but no registered family: eager
+	// insert stores the tuple and leaves the attribute NULL.
+	if err := db.CreateRelation("R", []Column{
+		{Name: "f", Kind: KindVector},
+		{Name: "d", Kind: KindInt, Derived: true, FeatureCol: "f", Domain: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id, err := db.InsertEnriched("R", 0, Vector([]float64{1}), Null)
+	if err != nil {
+		t.Fatalf("eager insert without family: %v", err)
+	}
+	rows, _ := db.Query("SELECT d FROM R WHERE d IS NULL")
+	if rows.Len() != 1 {
+		t.Errorf("tuple %d should have NULL d", id)
+	}
+}
+
+func TestOnDeltaFetchesIncrementalAnswers(t *testing.T) {
+	db, _, _ := buildReviewDB(t)
+	var inserted, deleted int
+	seen := make(map[int64]bool)
+	res, err := db.QueryProgressive("SELECT * FROM Reviews WHERE rating = 1", ProgressiveOptions{
+		Design:      LooseDesign,
+		Strategy:    FunctionOrdered,
+		EpochBudget: 2 * time.Millisecond,
+		OnDelta: func(ins, del *Rows) {
+			inserted += ins.Len()
+			deleted += del.Len()
+			for i := 0; i < ins.Len(); i++ {
+				seen[ins.TIDs(i)[0]] = true
+			}
+			for i := 0; i < del.Len(); i++ {
+				delete(seen, del.TIDs(i)[0])
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inserted == 0 {
+		t.Fatal("no delta answers delivered")
+	}
+	// Accumulating the deltas must reconstruct the final answer exactly.
+	if len(seen) != res.Len() {
+		t.Errorf("delta accumulation (%d rows) != final answer (%d rows)", len(seen), res.Len())
+	}
+	for i := 0; i < res.Len(); i++ {
+		if !seen[res.TIDs(i)[0]] {
+			t.Errorf("final row %d missing from accumulated deltas", res.TIDs(i)[0])
+		}
+	}
+}
+
+func TestDeltaSinceArbitraryEpoch(t *testing.T) {
+	db, _, _ := buildReviewDB(t)
+	res, err := db.QueryProgressive("SELECT * FROM Reviews WHERE rating = 1", ProgressiveOptions{
+		Design:      LooseDesign,
+		Strategy:    FunctionOrdered,
+		EpochBudget: 500 * time.Microsecond,
+		MaxEpochs:   100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) < 3 {
+		t.Skipf("need several epochs, got %d", len(res.Epochs))
+	}
+	// Since setup: the net delta is the full final answer.
+	ins, del := res.DeltaSince(0)
+	if ins.Len()-del.Len() != res.Len() {
+		t.Errorf("DeltaSince(0): +%d -%d vs final %d", ins.Len(), del.Len(), res.Len())
+	}
+	// Since a mid-run epoch: final = answer@k + delta-since-k. Reconstruct
+	// answer@k from the per-epoch counters and compare sizes.
+	k := len(res.Epochs) / 2
+	atK := 0
+	for _, e := range res.Epochs[:k] {
+		atK += e.Inserted - e.Deleted
+	}
+	insK, delK := res.DeltaSince(k)
+	if atK+insK.Len()-delK.Len() != res.Len() {
+		t.Errorf("DeltaSince(%d): answer@k %d + %d - %d != final %d",
+			k, atK, insK.Len(), delK.Len(), res.Len())
+	}
+	// Since the last epoch: nothing left.
+	insEnd, delEnd := res.DeltaSince(len(res.Epochs))
+	if insEnd.Len() != 0 || delEnd.Len() != 0 {
+		t.Errorf("DeltaSince(end): +%d -%d", insEnd.Len(), delEnd.Len())
+	}
+}
+
+func TestConcurrentQueriesShareEnrichment(t *testing.T) {
+	// The paper's §7 outlook: enrichment performed by one query benefits
+	// others. Two overlapping queries — the second must only pay for the
+	// tuples the first did not cover.
+	db, _, _ := buildReviewDB(t)
+	res1, err := db.QueryLoose("SELECT * FROM Reviews WHERE rating = 1 AND day < 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := db.QueryTight("SELECT * FROM Reviews WHERE rating = 2 AND day < 30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Enrichments == 0 || res2.Enrichments == 0 {
+		t.Fatal("both queries should enrich something")
+	}
+	// Query 2 covers day<30 ⊃ day<20: it must have paid only for the
+	// uncovered day range (roughly a third of what a cold run would cost).
+	if res2.Enrichments >= res1.Enrichments {
+		t.Errorf("overlapping query did not reuse enrichment: q1=%d q2=%d",
+			res1.Enrichments, res2.Enrichments)
+	}
+}
+
+func TestOrderByLimitPublic(t *testing.T) {
+	db, _, _ := buildReviewDB(t)
+	rows, err := db.Query("SELECT id, day FROM Reviews ORDER BY day DESC, id ASC LIMIT 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows.Len() != 5 {
+		t.Fatalf("rows: %d", rows.Len())
+	}
+	for i := 1; i < rows.Len(); i++ {
+		if rows.At(i - 1)[1].Int() < rows.At(i)[1].Int() {
+			t.Fatal("not descending by day")
+		}
+	}
+	// The designs support ORDER BY/LIMIT too.
+	res, err := db.QueryTight("SELECT id FROM Reviews WHERE rating = 1 ORDER BY id LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() > 3 {
+		t.Errorf("limit ignored: %d", res.Len())
+	}
+	// Progressive execution cannot maintain LIMIT views incrementally.
+	if _, err := db.QueryProgressive("SELECT id FROM Reviews WHERE rating = 1 LIMIT 3",
+		ProgressiveOptions{EpochBudget: time.Millisecond}); err == nil {
+		t.Error("progressive LIMIT must be rejected with a clear error")
+	}
+}
+
+func TestProgressiveWithoutOnDeltaSkipsCollection(t *testing.T) {
+	db, _, _ := buildReviewDB(t)
+	res, err := db.QueryProgressive("SELECT * FROM Reviews WHERE rating = 0", ProgressiveOptions{
+		EpochBudget: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Len() == 0 {
+		t.Error("no results")
+	}
+}

@@ -1,0 +1,3 @@
+module enrichdb
+
+go 1.22

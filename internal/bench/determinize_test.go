@@ -1,0 +1,39 @@
+package bench
+
+import "testing"
+
+// TestDeterminizerComparisonShape: all determinizers produce sane
+// accuracies, and the ensembles are not clearly worse than the average
+// single function.
+func TestDeterminizerComparisonShape(t *testing.T) {
+	tb, err := DeterminizerComparison(tiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	if len(tb.Rows) < 5 { // 3 ensembles + >= 2 single functions
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	var ensembleMin, singleSum float64
+	singles := 0
+	ensembleMin = 1
+	for ri := range tb.Rows {
+		acc := floatCell(t, tb, ri, 1)
+		if acc < 0.34 { // three classes: must beat chance
+			t.Errorf("%s accuracy %.3f at or below chance", cell(t, tb, ri, 0), acc)
+		}
+		if ri < 3 {
+			if acc < ensembleMin {
+				ensembleMin = acc
+			}
+		} else {
+			singleSum += acc
+			singles++
+		}
+	}
+	singleAvg := singleSum / float64(singles)
+	if ensembleMin < singleAvg-0.05 {
+		t.Errorf("weakest ensemble (%.3f) clearly below average single function (%.3f)",
+			ensembleMin, singleAvg)
+	}
+}

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestIngestionRateShape: lazy ingestion throughput must not depend on model
+// cost; eager throughput must collapse as models get expensive.
+func TestIngestionRateShape(t *testing.T) {
+	tb, err := IngestionRate(300, []time.Duration{
+		10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	if len(tb.Rows) != 3 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	for ri := range tb.Rows {
+		lazy := floatCell(t, tb, ri, 1)
+		eager := floatCell(t, tb, ri, 2)
+		if eager >= lazy {
+			t.Errorf("row %d: eager (%v/s) should be slower than lazy (%v/s)", ri, eager, lazy)
+		}
+	}
+	// The slowdown must grow with model cost.
+	e0 := floatCell(t, tb, 0, 2)
+	eN := floatCell(t, tb, len(tb.Rows)-1, 2)
+	if eN >= e0 {
+		t.Errorf("eager throughput should collapse with model cost: %v -> %v events/s", e0, eN)
+	}
+	// At 1ms/object eager ingestion is bounded near 1000 events/s — the
+	// paper's "10s of events per second" at their 100ms+ models.
+	if eN > 1100 {
+		t.Errorf("eager at 1ms/object should be <= ~1000 events/s, got %v", eN)
+	}
+}

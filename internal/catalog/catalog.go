@@ -1,0 +1,141 @@
+// Package catalog holds relation schemas for the extended relational model of
+// the paper: each relation mixes fixed attributes with derived attributes
+// that are produced by enrichment functions at query time.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+
+	"enrichdb/internal/types"
+)
+
+// Column describes one attribute of a relation.
+type Column struct {
+	// Name of the attribute, unique within the relation.
+	Name string
+	// Kind is the value type stored in this column. For a derived attribute
+	// this is the type of the *determined* value (usually INT: a class label).
+	Kind types.Kind
+	// Derived marks the attribute as requiring enrichment (the paper's 𝒜ᵢ
+	// attributes). Derived attributes are NULL until enriched.
+	Derived bool
+	// FeatureCol names the fixed column whose value is fed to this derived
+	// attribute's enrichment functions (e.g. a feature-vector column). Empty
+	// for fixed attributes.
+	FeatureCol string
+	// Domain is the number of distinct class labels a derived attribute can
+	// take (e.g. 3 for sentiment, 40 for topic). Zero for fixed attributes.
+	Domain int
+}
+
+// Schema is the definition of one relation.
+type Schema struct {
+	Name   string
+	Cols   []Column
+	byName map[string]int
+}
+
+// NewSchema builds a schema and validates it: column names must be unique,
+// derived columns must name an existing fixed FeatureCol and a positive
+// Domain.
+func NewSchema(name string, cols []Column) (*Schema, error) {
+	s := &Schema{Name: name, Cols: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if c.Name == "" {
+			return nil, fmt.Errorf("catalog: relation %s: column %d has empty name", name, i)
+		}
+		if _, dup := s.byName[c.Name]; dup {
+			return nil, fmt.Errorf("catalog: relation %s: duplicate column %s", name, c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	for _, c := range cols {
+		if !c.Derived {
+			continue
+		}
+		if c.Domain <= 0 {
+			return nil, fmt.Errorf("catalog: relation %s: derived column %s needs a positive domain", name, c.Name)
+		}
+		fi, ok := s.byName[c.FeatureCol]
+		if !ok {
+			return nil, fmt.Errorf("catalog: relation %s: derived column %s references unknown feature column %q", name, c.Name, c.FeatureCol)
+		}
+		if cols[fi].Derived {
+			return nil, fmt.Errorf("catalog: relation %s: feature column %s of %s must be fixed", name, c.FeatureCol, c.Name)
+		}
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; for tests and generators with
+// statically known-good schemas.
+func MustSchema(name string, cols []Column) *Schema {
+	s, err := NewSchema(name, cols)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s *Schema) ColIndex(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Col returns the named column definition, or nil.
+func (s *Schema) Col(name string) *Column {
+	i := s.ColIndex(name)
+	if i < 0 {
+		return nil
+	}
+	return &s.Cols[i]
+}
+
+// DerivedCols returns the names of all derived attributes, in schema order.
+func (s *Schema) DerivedCols() []string {
+	var out []string
+	for _, c := range s.Cols {
+		if c.Derived {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}
+
+// Catalog is the collection of relation schemas known to a database.
+type Catalog struct {
+	schemas map[string]*Schema
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{schemas: make(map[string]*Schema)}
+}
+
+// Add registers a schema; it is an error to register a name twice.
+func (c *Catalog) Add(s *Schema) error {
+	if _, dup := c.schemas[s.Name]; dup {
+		return fmt.Errorf("catalog: relation %s already exists", s.Name)
+	}
+	c.schemas[s.Name] = s
+	return nil
+}
+
+// Schema returns the schema for the named relation, or nil.
+func (c *Catalog) Schema(name string) *Schema {
+	return c.schemas[name]
+}
+
+// Relations returns all relation names in deterministic (sorted) order.
+func (c *Catalog) Relations() []string {
+	out := make([]string, 0, len(c.schemas))
+	for n := range c.schemas {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,160 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/ml"
+)
+
+// ModelSpec names a classifier variant for TrainFamily.
+type ModelSpec struct {
+	// Kind is one of gnb, knn, dt, rf, lr, lda, svm, mlp.
+	Kind string
+	// Param is kind-specific: k for knn, max depth for dt, tree count for
+	// rf, hidden width for mlp. Zero takes the kind's default.
+	Param int
+	// ExtraCost adds an artificial per-object inference cost, emulating the
+	// paper's heavyweight models.
+	ExtraCost time.Duration
+}
+
+// newModel instantiates the classifier for a spec. Seeded deterministically
+// per (seed, position).
+func newModel(s ModelSpec, seed int64) (ml.Classifier, error) {
+	switch s.Kind {
+	case "gnb":
+		// The paper calibrates GNB with isotonic regression.
+		return &ml.CalibratedClassifier{Base: ml.NewGNB(), Method: "isotonic"}, nil
+	case "knn":
+		return ml.NewKNN(s.Param), nil
+	case "dt":
+		d := s.Param
+		if d == 0 {
+			d = 8
+		}
+		t := ml.NewDecisionTree(d)
+		t.Seed = seed
+		return t, nil
+	case "rf":
+		return ml.NewRandomForest(s.Param, 8, seed), nil
+	case "lr":
+		m := ml.NewLogisticRegression()
+		m.Seed = seed
+		return m, nil
+	case "lda":
+		return ml.NewLDA(), nil
+	case "svm":
+		m := ml.NewLinearSVM()
+		m.Seed = seed
+		return m, nil
+	case "mlp":
+		m := ml.NewMLP(s.Param)
+		m.Seed = seed
+		return m, nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown model kind %q", s.Kind)
+	}
+}
+
+// TrainFamily trains one enrichment function per spec on the relation's
+// training pool, measures each function's validation accuracy (Quality) and
+// per-object cost (CostEst), and assembles the family.
+func (d *Data) TrainFamily(rel, attr string, det enrich.Determinizer, specs ...ModelSpec) (*enrich.Family, error) {
+	X, y, classes, err := d.TrainingData(rel, attr)
+	if err != nil {
+		return nil, err
+	}
+	trX, trY, vaX, vaY := ml.TrainTestSplit(X, y, 0.25, d.Config.Seed+101)
+
+	fns := make([]*enrich.Function, len(specs))
+	for i, spec := range specs {
+		model, err := newModel(spec, d.Config.Seed+int64(i)*997)
+		if err != nil {
+			return nil, err
+		}
+		if err := model.Fit(trX, trY, classes); err != nil {
+			return nil, fmt.Errorf("dataset: fit %s for %s.%s: %w", model.Name(), rel, attr, err)
+		}
+		quality := ml.Accuracy(model, vaX, vaY)
+		// Measure per-object inference cost on a few validation samples.
+		probeN := 20
+		if probeN > len(vaX) {
+			probeN = len(vaX)
+		}
+		start := time.Now()
+		for p := 0; p < probeN; p++ {
+			model.PredictProba(vaX[p])
+		}
+		cost := time.Duration(1)
+		if probeN > 0 {
+			cost = time.Since(start) / time.Duration(probeN)
+		}
+		fns[i] = &enrich.Function{
+			Name:      model.Name(),
+			Model:     model,
+			Quality:   quality,
+			CostEst:   cost + spec.ExtraCost,
+			ExtraCost: spec.ExtraCost,
+		}
+	}
+	return enrich.NewFamily(rel, attr, classes, det, fns...)
+}
+
+// RegisterFamilies trains and registers families with a manager.
+func (d *Data) RegisterFamilies(mgr *enrich.Manager, fams map[[2]string][]ModelSpec) error {
+	for key, specs := range fams {
+		fam, err := d.TrainFamily(key[0], key[1], nil, specs...)
+		if err != nil {
+			return err
+		}
+		if err := mgr.Register(fam); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SingleFunctionSpecs reproduces Exp 1's setup (§5.2.1): one function per
+// derived attribute — MLP for sentiment, GNB for topic, MLP for gender, RF
+// for expression.
+func SingleFunctionSpecs() map[[2]string][]ModelSpec {
+	return map[[2]string][]ModelSpec{
+		{"TweetData", "sentiment"}: {{Kind: "mlp", Param: 16}},
+		{"TweetData", "topic"}:     {{Kind: "gnb"}},
+		{"MultiPie", "gender"}:     {{Kind: "mlp", Param: 16}},
+		{"MultiPie", "expression"}: {{Kind: "rf", Param: 10}},
+	}
+}
+
+// PaperFamilySpecs reproduces Table 5's function families for the
+// progressive experiments: several classifiers of varying cost/quality per
+// derived attribute.
+func PaperFamilySpecs() map[[2]string][]ModelSpec {
+	return map[[2]string][]ModelSpec{
+		{"TweetData", "sentiment"}: {
+			{Kind: "gnb"}, {Kind: "dt", Param: 6}, {Kind: "knn", Param: 5}, {Kind: "svm"}, {Kind: "mlp", Param: 16},
+		},
+		{"TweetData", "topic"}: {
+			{Kind: "gnb"}, {Kind: "dt", Param: 8}, {Kind: "knn", Param: 5}, {Kind: "lda"}, {Kind: "lr"},
+		},
+		{"MultiPie", "gender"}: {
+			{Kind: "gnb"}, {Kind: "dt", Param: 6}, {Kind: "knn", Param: 5}, {Kind: "mlp", Param: 16},
+		},
+		{"MultiPie", "expression"}: {
+			{Kind: "gnb"}, {Kind: "dt", Param: 8}, {Kind: "knn", Param: 5}, {Kind: "lr"},
+		},
+	}
+}
+
+// RFComplexitySpecs is Exp 2's same-algorithm family: random forests with
+// 5, 10, 15 and 20 base classifiers (Figure 7(b)).
+func RFComplexitySpecs(attr string) map[[2]string][]ModelSpec {
+	return map[[2]string][]ModelSpec{
+		{"TweetData", attr}: {
+			{Kind: "rf", Param: 5}, {Kind: "rf", Param: 10},
+			{Kind: "rf", Param: 15}, {Kind: "rf", Param: 20},
+		},
+	}
+}

@@ -1,0 +1,111 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"enrichdb/internal/expr"
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/types"
+)
+
+// udfWrap replaces the derived conjuncts of an analysis with read_udf calls,
+// as the tight rewrite would.
+func udfWrap(t *testing.T, a *Analysis, alias string) {
+	t.Helper()
+	for i, c := range a.Sel[alias] {
+		if !c.Derived {
+			continue
+		}
+		ref := c.DerivedRefs[0]
+		a.Sel[alias][i].E = expr.NewCmp(expr.EQ,
+			expr.NewUDFCall(expr.UDFReadUDF, ref.Alias, ref.Attr),
+			expr.NewConst(types.NewInt(1)))
+	}
+}
+
+func TestBuildOptNoUDFPullUp(t *testing.T) {
+	db := testDB(t)
+	q := "SELECT * FROM TweetData T1, State S WHERE T1.location = S.city AND T1.sentiment = 1"
+	a, err := Analyze(sqlparser.MustParse(q), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	udfWrap(t, a, "T1")
+	plan, err := BuildOpt(a, db, BuildOptions{NoUDFPullUp: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain("")
+	// Without pull-up the UDF filter sits below the join.
+	if strings.Index(ex, "read_udf") < strings.Index(ex, "Join") {
+		t.Errorf("NoUDFPullUp should leave the UDF below the join:\n%s", ex)
+	}
+}
+
+func TestBuildOptNoJoinReorder(t *testing.T) {
+	db := testDB(t)
+	// FROM order T1, T2, S; the derived T1-T2 join would normally be
+	// deferred by joining S first.
+	q := "SELECT * FROM TweetData T1, TweetData T2, State S WHERE T1.tid = T2.tid AND T1.location = S.city"
+	a, err := Analyze(sqlparser.MustParse(q), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the T1-T2 condition expensive (UDF) so reordering would demote it.
+	a.Joins[0].E = expr.NewCmp(expr.EQ,
+		expr.NewUDFCall(expr.UDFGetValue, "T1", "sentiment"),
+		expr.NewUDFCall(expr.UDFGetValue, "T2", "sentiment"))
+	a.Joins[0].Derived = true
+
+	reordered, err := Build(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inOrder, err := BuildOpt(a, db, BuildOptions{NoJoinReorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With reordering, S joins before T2 (the expensive condition last);
+	// without, T2 comes right after T1.
+	exR := reordered.Explain("")
+	exO := inOrder.Explain("")
+	if strings.Index(exR, "Scan State") > strings.Index(exR, "Scan TweetData AS T2") {
+		t.Errorf("reordering should join State before T2:\n%s", exR)
+	}
+	if strings.Index(exO, "Scan State") < strings.Index(exO, "Scan TweetData AS T2") {
+		t.Errorf("NoJoinReorder must keep FROM order:\n%s", exO)
+	}
+}
+
+func TestBuildOptNoFixedFirstOrdering(t *testing.T) {
+	db := testDB(t)
+	// Derived condition written first.
+	q := "SELECT * FROM MultiPie WHERE gender = 1 AND CameraID < 2"
+	a, err := Analyze(sqlparser.MustParse(q), db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := splitSelPred(a, "MultiPie", false, true)
+	and, ok := pred.(*expr.And)
+	if !ok {
+		t.Fatalf("pred: %s", pred)
+	}
+	if !strings.Contains(and.Kids[0].String(), "gender") {
+		t.Errorf("query order must be preserved: %s", pred)
+	}
+	// Results are identical either way.
+	p1, err := Build(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := BuildOpt(a, db, BuildOptions{NoFixedFirstOrdering: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := p1.Execute(NewExecCtx())
+	r2, _ := p2.Execute(NewExecCtx())
+	if len(r1) != len(r2) {
+		t.Errorf("conjunct ordering changed results: %d vs %d", len(r1), len(r2))
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"fmt"
+
+	"enrichdb/internal/expr"
+	"enrichdb/internal/storage"
+	"enrichdb/internal/types"
+)
+
+// IndexScan reads only the tuples whose indexed column equals a constant,
+// replacing a full scan when the planner finds an equality predicate over an
+// indexed fixed column.
+type IndexScan struct {
+	Table *storage.Table
+	Alias string
+	Col   string
+	Val   types.Value
+	rs    *expr.RowSchema
+}
+
+// NewIndexScan builds an index-scan leaf.
+func NewIndexScan(t *storage.Table, alias, col string, val types.Value) *IndexScan {
+	if alias == "" {
+		alias = t.Schema().Name
+	}
+	return &IndexScan{
+		Table: t, Alias: alias, Col: col, Val: val,
+		rs: expr.SchemaForTable(alias, t.Schema()),
+	}
+}
+
+// Schema returns the scan's row schema.
+func (s *IndexScan) Schema() *expr.RowSchema { return s.rs }
+
+// Execute looks up the matching tuple ids and materializes them.
+func (s *IndexScan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	ids, ok := s.Table.LookupIndex(s.Col, s.Val)
+	if !ok {
+		return nil, fmt.Errorf("engine: index on %s.%s disappeared", s.Table.Schema().Name, s.Col)
+	}
+	out := make([]*expr.Row, 0, len(ids))
+	for _, id := range ids {
+		if tu := s.Table.Get(id); tu != nil {
+			out = append(out, expr.RowFromTuple(s.rs, tu))
+		}
+	}
+	ctx.Stats.RowsScanned += int64(len(out))
+	ctx.Stats.IndexScans++
+	return out, nil
+}
+
+// Explain renders the node.
+func (s *IndexScan) Explain(indent string) string {
+	return fmt.Sprintf("%sIndexScan %s AS %s on %s = %s\n",
+		indent, s.Table.Schema().Name, s.Alias, s.Col, s.Val)
+}

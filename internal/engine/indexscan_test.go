@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/types"
+)
+
+func TestIndexScanChosenAndCorrect(t *testing.T) {
+	db := testDB(t)
+	tbl := db.MustTable("TweetData")
+	if err := tbl.CreateIndex("location"); err != nil {
+		t.Fatal(err)
+	}
+
+	q := "SELECT * FROM TweetData WHERE location = 'LA' AND TweetTime < 8"
+	stmt := sqlparser.MustParse(q)
+	a, err := Analyze(stmt, db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain("")
+	if !strings.Contains(ex, "IndexScan") {
+		t.Fatalf("expected index scan:\n%s", ex)
+	}
+	ctx := NewExecCtx()
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ctx.Stats.IndexScans != 1 {
+		t.Errorf("IndexScans = %d", ctx.Stats.IndexScans)
+	}
+	// Cross-check against a full scan of the same query on a fresh DB
+	// without the index.
+	db2 := testDB(t)
+	stmt2 := sqlparser.MustParse(q)
+	a2, _ := Analyze(stmt2, db2.Catalog())
+	plan2, _ := Build(a2, db2)
+	if strings.Contains(plan2.Explain(""), "IndexScan") {
+		t.Fatal("control plan must not use an index")
+	}
+	rows2, err := plan2.Execute(NewExecCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(rows2) {
+		t.Errorf("index scan rows %d vs full scan %d", len(rows), len(rows2))
+	}
+	for _, r := range rows {
+		if r.Vals[2].Str() != "LA" || r.Vals[3].Int() >= 8 {
+			t.Errorf("row violates predicate: %v", r.Vals)
+		}
+	}
+}
+
+func TestIndexScanSkippedForCrossKindEquality(t *testing.T) {
+	db := testDB(t)
+	tbl := db.MustTable("TweetData")
+	if err := tbl.CreateIndex("TweetTime"); err != nil {
+		t.Fatal(err)
+	}
+	// FLOAT constant against INT column: Compare matches 3 = 3.0, the
+	// index would not — the planner must fall back to a scan.
+	stmt := sqlparser.MustParse("SELECT * FROM TweetData WHERE TweetTime = 3.0")
+	a, _ := Analyze(stmt, db.Catalog())
+	plan, err := Build(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plan.Explain(""), "IndexScan") {
+		t.Fatalf("cross-kind equality must not use the index:\n%s", plan.Explain(""))
+	}
+	rows, _ := plan.Execute(NewExecCtx())
+	if len(rows) != 1 {
+		t.Errorf("rows: %d", len(rows))
+	}
+	// Same-kind constant does use it.
+	stmt2 := sqlparser.MustParse("SELECT * FROM TweetData WHERE TweetTime = 3")
+	a2, _ := Analyze(stmt2, db.Catalog())
+	plan2, _ := Build(a2, db)
+	if !strings.Contains(plan2.Explain(""), "IndexScan") {
+		t.Errorf("same-kind equality should use the index:\n%s", plan2.Explain(""))
+	}
+}
+
+func TestIndexScanReflectsUpdates(t *testing.T) {
+	db := testDB(t)
+	tbl := db.MustTable("TweetData")
+	if err := tbl.CreateIndex("location"); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Update(1, "location", types.NewString("Boston"))
+	rows := runQuery(t, db, "SELECT * FROM TweetData WHERE location = 'Boston'")
+	if len(rows) != 1 || rows[0].TIDs[0] != 1 {
+		t.Errorf("index scan after update: %d rows", len(rows))
+	}
+}
+
+func TestIndexScanInJoin(t *testing.T) {
+	db := testDB(t)
+	st := db.MustTable("State")
+	if err := st.CreateIndex("state"); err != nil {
+		t.Fatal(err)
+	}
+	stmt := sqlparser.MustParse(
+		"SELECT * FROM TweetData T1, State S WHERE T1.location = S.city AND S.state = 'California'")
+	a, _ := Analyze(stmt, db.Catalog())
+	plan, err := Build(a, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := plan.Explain("")
+	if !strings.Contains(ex, "IndexScan State") {
+		t.Errorf("State side should index-scan:\n%s", ex)
+	}
+	rows, err := plan.Execute(NewExecCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("rows: %d want 6", len(rows))
+	}
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"fmt"
+
+	"enrichdb/internal/expr"
+)
+
+// Rows is a leaf plan over pre-materialized rows. The IVM module uses it to
+// re-join delta rows against stored view inputs, and the tight design uses it
+// to evaluate its rewritten delta query over the epoch's planned tuples.
+// Data may be swapped between executions.
+type Rows struct {
+	rs   *expr.RowSchema
+	Data []*expr.Row
+}
+
+// NewRows builds a materialized leaf with the given schema.
+func NewRows(rs *expr.RowSchema, data []*expr.Row) *Rows {
+	return &Rows{rs: rs, Data: data}
+}
+
+// Schema returns the leaf's schema.
+func (r *Rows) Schema() *expr.RowSchema { return r.rs }
+
+// Execute returns the materialized rows.
+func (r *Rows) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	ctx.Stats.RowsScanned += int64(len(r.Data))
+	return r.Data, nil
+}
+
+// Explain renders the leaf.
+func (r *Rows) Explain(indent string) string {
+	return fmt.Sprintf("%sRows (%d)\n", indent, len(r.Data))
+}

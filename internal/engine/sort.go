@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"enrichdb/internal/expr"
+	"enrichdb/internal/types"
+)
+
+// SortKey is one ORDER BY key resolved against the child's output schema.
+type SortKey struct {
+	Index int
+	Desc  bool
+}
+
+// Sort orders its input. NULLs sort as the largest value (so they come last
+// ascending, first descending — PostgreSQL's default). The sort is stable.
+type Sort struct {
+	Child Plan
+	Keys  []SortKey
+}
+
+// Schema returns the child schema.
+func (s *Sort) Schema() *expr.RowSchema { return s.Child.Schema() }
+
+// Execute sorts the child's rows.
+func (s *Sort) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	in, err := s.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*expr.Row, len(in))
+	copy(out, in)
+	sort.SliceStable(out, func(i, j int) bool {
+		for _, k := range s.Keys {
+			c := compareForSort(out[i].Vals[k.Index], out[j].Vals[k.Index])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	return out, nil
+}
+
+// compareForSort orders values with NULL as the largest element.
+// Incomparable non-NULL values (mixed kinds) fall back to key order so the
+// sort stays total.
+func compareForSort(a, b types.Value) int {
+	switch {
+	case a.IsNull() && b.IsNull():
+		return 0
+	case a.IsNull():
+		return 1
+	case b.IsNull():
+		return -1
+	}
+	if c, ok := a.Compare(b); ok {
+		return c
+	}
+	ka, kb := a.Key(), b.Key()
+	switch {
+	case ka < kb:
+		return -1
+	case ka > kb:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Explain renders the subtree.
+func (s *Sort) Explain(indent string) string {
+	return fmt.Sprintf("%sSort %v\n%s", indent, s.Keys, s.Child.Explain(indent+"  "))
+}
+
+// Limit caps its input to N rows.
+type Limit struct {
+	Child Plan
+	N     int64
+}
+
+// Schema returns the child schema.
+func (l *Limit) Schema() *expr.RowSchema { return l.Child.Schema() }
+
+// Execute truncates the child's rows.
+func (l *Limit) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	in, err := l.Child.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if int64(len(in)) > l.N {
+		in = in[:l.N]
+	}
+	return in, nil
+}
+
+// Explain renders the subtree.
+func (l *Limit) Explain(indent string) string {
+	return fmt.Sprintf("%sLimit %d\n%s", indent, l.N, l.Child.Explain(indent+"  "))
+}

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"testing"
+
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/types"
+)
+
+func TestOrderBy(t *testing.T) {
+	db := testDB(t)
+	rows := runQuery(t, db, "SELECT * FROM TweetData ORDER BY TweetTime DESC")
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Vals[3].Int() < rows[i].Vals[3].Int() {
+			t.Fatalf("not descending at %d: %v then %v", i, rows[i-1].Vals[3], rows[i].Vals[3])
+		}
+	}
+	rows = runQuery(t, db, "SELECT * FROM TweetData ORDER BY location ASC, TweetTime DESC")
+	for i := 1; i < len(rows); i++ {
+		prev, cur := rows[i-1], rows[i]
+		lc, _ := prev.Vals[2].Compare(cur.Vals[2])
+		if lc > 0 {
+			t.Fatalf("location not ascending at %d", i)
+		}
+		if lc == 0 && prev.Vals[3].Int() < cur.Vals[3].Int() {
+			t.Fatalf("time not descending within location at %d", i)
+		}
+	}
+}
+
+func TestOrderByNullsLast(t *testing.T) {
+	db := testDB(t)
+	tt := db.MustTable("TweetData")
+	tt.Update(3, "sentiment", types.Null)
+	rows := runQuery(t, db, "SELECT * FROM TweetData ORDER BY sentiment")
+	if !rows[len(rows)-1].Vals[4].IsNull() {
+		t.Error("NULL must sort last ascending")
+	}
+	rows = runQuery(t, db, "SELECT * FROM TweetData ORDER BY sentiment DESC")
+	if !rows[0].Vals[4].IsNull() {
+		t.Error("NULL must sort first descending")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	db := testDB(t)
+	rows := runQuery(t, db, "SELECT * FROM TweetData ORDER BY tid LIMIT 3")
+	if len(rows) != 3 {
+		t.Fatalf("limit: %d rows", len(rows))
+	}
+	for i, r := range rows {
+		if r.Vals[0].Int() != int64(i+1) {
+			t.Errorf("row %d = tid %v", i, r.Vals[0])
+		}
+	}
+	rows = runQuery(t, db, "SELECT * FROM TweetData LIMIT 0")
+	if len(rows) != 0 {
+		t.Errorf("LIMIT 0: %d rows", len(rows))
+	}
+	rows = runQuery(t, db, "SELECT * FROM TweetData LIMIT 999")
+	if len(rows) != 9 {
+		t.Errorf("oversized limit: %d rows", len(rows))
+	}
+}
+
+func TestOrderByAggregationOutput(t *testing.T) {
+	db := testDB(t)
+	rows := runQuery(t, db, "SELECT topic, count(*) FROM TweetData GROUP BY topic ORDER BY topic DESC LIMIT 2")
+	if len(rows) != 2 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	if rows[0].Vals[0].Int() < rows[1].Vals[0].Int() {
+		t.Errorf("not descending: %v, %v", rows[0].Vals[0], rows[1].Vals[0])
+	}
+}
+
+func TestOrderByUnknownColumn(t *testing.T) {
+	db := testDB(t)
+	stmt := sqlparser.MustParse("SELECT tid FROM TweetData ORDER BY location")
+	a, err := Analyze(stmt, db.Catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Build(a, db); err == nil {
+		t.Error("ORDER BY on a non-projected column must fail")
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	db := testDB(t)
+	// Sorting by a constant-ish key (sentiment has 3 values over 9 rows)
+	// must keep insertion order within equal keys.
+	rows := runQuery(t, db, "SELECT * FROM TweetData ORDER BY sentiment")
+	lastTid := map[int64]int64{}
+	for _, r := range rows {
+		s := r.Vals[4].Int()
+		if prev, ok := lastTid[s]; ok && r.Vals[0].Int() < prev {
+			t.Fatalf("unstable sort within sentiment %d", s)
+		}
+		lastTid[s] = r.Vals[0].Int()
+	}
+}

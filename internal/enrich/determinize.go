@@ -1,0 +1,97 @@
+package enrich
+
+import (
+	"enrichdb/internal/ml"
+	"enrichdb/internal/types"
+)
+
+// Determinizer computes the value of a derived attribute from the state of
+// its enrichment functions (DET(state(t, 𝒜)) in §3.1). Implementations must
+// return types.Null when the state provides insufficient evidence.
+type Determinizer interface {
+	// Determine fuses the per-function outputs (nil entries = not executed).
+	// The outputs slice is indexed by function ID and each non-nil entry is
+	// a distribution over the attribute's domain.
+	Determine(outputs [][]float64, domain int) types.Value
+}
+
+// AvgProb averages the distributions of all executed functions and returns
+// the argmax, requiring the averaged winning probability to reach MinConf
+// (0 disables the floor). This is the "most likely value" ensemble of §3.1.
+type AvgProb struct {
+	MinConf float64
+}
+
+// Determine implements Determinizer.
+func (d AvgProb) Determine(outputs [][]float64, domain int) types.Value {
+	sum := make([]float64, domain)
+	n := 0
+	for _, out := range outputs {
+		if out == nil {
+			continue
+		}
+		n++
+		for c := 0; c < domain && c < len(out); c++ {
+			sum[c] += out[c]
+		}
+	}
+	if n == 0 {
+		return types.Null
+	}
+	best := ml.Argmax(sum)
+	if d.MinConf > 0 && sum[best]/float64(n) < d.MinConf {
+		return types.Null
+	}
+	return types.NewInt(int64(best))
+}
+
+// MajorityVote assigns each executed function one vote (its argmax class)
+// and returns the plurality winner — the "majority consensus" ensemble of
+// §3.1. Ties break to the lowest class id.
+type MajorityVote struct{}
+
+// Determine implements Determinizer.
+func (MajorityVote) Determine(outputs [][]float64, domain int) types.Value {
+	votes := make([]float64, domain)
+	n := 0
+	for _, out := range outputs {
+		if out == nil {
+			continue
+		}
+		n++
+		votes[ml.Argmax(out)]++
+	}
+	if n == 0 {
+		return types.Null
+	}
+	return types.NewInt(int64(ml.Argmax(votes)))
+}
+
+// WeightedVote weights each executed function's distribution by its quality.
+// Weights are indexed by function ID; missing weights default to 1.
+type WeightedVote struct {
+	Weights []float64
+}
+
+// Determine implements Determinizer.
+func (d WeightedVote) Determine(outputs [][]float64, domain int) types.Value {
+	sum := make([]float64, domain)
+	n := 0
+	for id, out := range outputs {
+		if out == nil {
+			continue
+		}
+		n++
+		w := 1.0
+		if id < len(d.Weights) && d.Weights[id] > 0 {
+			w = d.Weights[id]
+		}
+		for c := 0; c < domain && c < len(out); c++ {
+			sum[c] += w * out[c]
+		}
+	}
+	if n == 0 {
+		return types.Null
+	}
+	return types.NewInt(int64(ml.Argmax(sum)))
+}

@@ -1,0 +1,152 @@
+// Package enrich implements the enrichment layer of the paper's data model:
+// function families attached to derived attributes, per-tuple enrichment
+// state (bitmap of executed functions + their probability outputs + the
+// determined value), determinization functions, and the state-cutoff
+// compression of §3.2.
+package enrich
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"enrichdb/internal/ml"
+)
+
+// Function is one enrichment function of a family: a trained probabilistic
+// classifier plus the cost/quality metadata the plan strategies use.
+type Function struct {
+	// ID is the function's index within its family (its bitmap bit).
+	ID int
+	// Name of the underlying model (e.g. "mlp16", "rf20").
+	Name string
+	// Model produces a probability distribution over the attribute domain.
+	Model ml.Classifier
+	// Quality is the validation accuracy, used by SB(FO) ordering.
+	Quality float64
+	// CostEst is the measured average per-object execution time.
+	CostEst time.Duration
+	// ExtraCost is an optional artificial per-object cost added to Run; the
+	// benchmarks use it to emulate the paper's heavy models (100ms+/object)
+	// at a reduced scale without hour-long runs.
+	ExtraCost time.Duration
+
+	mu        sync.Mutex
+	execCount int64
+	execTime  time.Duration
+}
+
+// Run executes the function on a feature vector and returns its probability
+// distribution, accounting the measured cost.
+func (f *Function) Run(x []float64) []float64 {
+	start := time.Now()
+	out := f.Model.PredictProba(x)
+	if f.ExtraCost > 0 {
+		spin(f.ExtraCost)
+	}
+	el := time.Since(start)
+	f.mu.Lock()
+	f.execCount++
+	f.execTime += el
+	f.mu.Unlock()
+	return out
+}
+
+// spin busy-waits for d, emulating CPU-bound model inference (sleeping would
+// under-represent server load in the latency experiments).
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	for time.Now().Before(end) {
+	}
+}
+
+// Stats returns the execution count and cumulative time so far.
+func (f *Function) Stats() (count int64, total time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.execCount, f.execTime
+}
+
+// AvgCost returns the function's observed mean per-object cost, falling back
+// to CostEst (then 1µs) when it has not run yet.
+func (f *Function) AvgCost() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.execCount > 0 {
+		return f.execTime / time.Duration(f.execCount)
+	}
+	if f.CostEst > 0 {
+		return f.CostEst
+	}
+	return time.Microsecond
+}
+
+// Family is the function family of one derived attribute (§3.1), with its
+// determinization function.
+type Family struct {
+	Relation string
+	Attr     string
+	// Domain is the attribute's class count.
+	Domain int
+	// Functions, ordered by ID. At most 64 (they share a state bitmap).
+	Functions []*Function
+	// Det fuses the outputs of executed functions into a value.
+	Det Determinizer
+}
+
+// NewFamily validates and builds a family. Functions are assigned IDs in
+// order. A nil determinizer defaults to AvgProb with no confidence floor.
+func NewFamily(relation, attr string, domain int, det Determinizer, fns ...*Function) (*Family, error) {
+	if len(fns) == 0 {
+		return nil, fmt.Errorf("enrich: family %s.%s has no functions", relation, attr)
+	}
+	if len(fns) > 64 {
+		return nil, fmt.Errorf("enrich: family %s.%s has %d functions; max 64", relation, attr, len(fns))
+	}
+	if domain < 2 {
+		return nil, fmt.Errorf("enrich: family %s.%s needs a domain of at least 2", relation, attr)
+	}
+	if det == nil {
+		det = AvgProb{}
+	}
+	for i, f := range fns {
+		f.ID = i
+		if f.Model == nil {
+			return nil, fmt.Errorf("enrich: family %s.%s function %d has no model", relation, attr, i)
+		}
+	}
+	return &Family{Relation: relation, Attr: attr, Domain: domain, Functions: fns, Det: det}, nil
+}
+
+// FullBitmap returns the bitmap value meaning "every function executed".
+func (fam *Family) FullBitmap() uint64 {
+	return (uint64(1) << uint(len(fam.Functions))) - 1
+}
+
+// ByQualityPerCost returns function IDs ordered by Quality/AvgCost descending
+// — the SB(FO) execution order of §3.3.2.
+func (fam *Family) ByQualityPerCost() []int {
+	type fc struct {
+		id    int
+		score float64
+	}
+	fcs := make([]fc, len(fam.Functions))
+	for i, f := range fam.Functions {
+		cost := float64(f.AvgCost().Nanoseconds())
+		if cost <= 0 {
+			cost = 1
+		}
+		fcs[i] = fc{id: i, score: f.Quality / cost}
+	}
+	// Insertion sort (families are tiny) keeps this allocation-free.
+	for i := 1; i < len(fcs); i++ {
+		for j := i; j > 0 && fcs[j].score > fcs[j-1].score; j-- {
+			fcs[j], fcs[j-1] = fcs[j-1], fcs[j]
+		}
+	}
+	out := make([]int, len(fcs))
+	for i, f := range fcs {
+		out[i] = f.id
+	}
+	return out
+}

@@ -1,0 +1,268 @@
+package enrich
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enrichdb/internal/types"
+)
+
+// Counters aggregates the enrichment activity both designs report in the
+// paper's experiments.
+type Counters struct {
+	// Enrichments counts enrichment function executions (Table 7/8's
+	// "number of enrichments").
+	Enrichments int64
+	// Skipped counts executions avoided because the state bitmap showed the
+	// function had already run — the state table's whole purpose.
+	Skipped int64
+	// ReExecutions counts functions re-run because the state cutoff had
+	// pruned probabilities the determinizer needed (Table 10).
+	ReExecutions int64
+	// ReExecTime is the time those re-executions consumed; the progressive
+	// executor charges it against the next epoch's budget (re-enrichment
+	// eats epoch time, as in the paper's fixed-duration epochs).
+	ReExecTime time.Duration
+	// StateUpdateTime is the cumulative time spent writing state (Exp 4).
+	StateUpdateTime time.Duration
+	// EnrichTime is the cumulative time spent executing enrichment
+	// functions through this manager (tight design's in-DBMS executions).
+	EnrichTime time.Duration
+}
+
+// Manager owns the function families and state tables of a database and is
+// the single write path for enrichment state in both designs.
+type Manager struct {
+	mu       sync.RWMutex
+	families map[string]map[string]*Family // relation -> attr -> family
+	states   map[string]*StateTable
+
+	enrichments  atomic.Int64
+	skipped      atomic.Int64
+	reExecutions atomic.Int64
+	reExecNanos  atomic.Int64
+	stateNanos   atomic.Int64
+	enrichNanos  atomic.Int64
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{
+		families: make(map[string]map[string]*Family),
+		states:   make(map[string]*StateTable),
+	}
+}
+
+// Register attaches a family to its relation, creating the relation's state
+// table on first use. All families of a relation must be registered before
+// any enrichment state is written.
+func (m *Manager) Register(fam *Family) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rf := m.families[fam.Relation]
+	if rf == nil {
+		rf = make(map[string]*Family)
+		m.families[fam.Relation] = rf
+	}
+	if _, dup := rf[fam.Attr]; dup {
+		return fmt.Errorf("enrich: family for %s.%s already registered", fam.Relation, fam.Attr)
+	}
+	st := m.states[fam.Relation]
+	if st == nil {
+		st = newStateTable(fam.Relation)
+		m.states[fam.Relation] = st
+	}
+	if err := st.addFamily(fam); err != nil {
+		return err
+	}
+	rf[fam.Attr] = fam
+	return nil
+}
+
+// Family returns the family of (relation, attr), or nil.
+func (m *Manager) Family(relation, attr string) *Family {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.families[relation][attr]
+}
+
+// StateTable returns the relation's state table, or nil.
+func (m *Manager) StateTable(relation string) *StateTable {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.states[relation]
+}
+
+// SetCutoff applies a state-cutoff threshold to every registered relation.
+func (m *Manager) SetCutoff(c float64) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	for _, st := range m.states {
+		st.SetCutoff(c)
+	}
+}
+
+// Execute runs function fnID of (relation, attr) on the tuple's feature
+// vector unless the state bitmap shows it already ran. It returns whether an
+// execution actually happened.
+func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, feature []float64) (bool, error) {
+	fam := m.Family(relation, attr)
+	if fam == nil {
+		return false, fmt.Errorf("enrich: no family for %s.%s", relation, attr)
+	}
+	if fnID < 0 || fnID >= len(fam.Functions) {
+		return false, fmt.Errorf("enrich: %s.%s has no function %d", relation, attr, fnID)
+	}
+	st := m.StateTable(relation)
+	if s := st.Get(tid, attr); s.Executed(fnID) {
+		m.skipped.Add(1)
+		return false, nil
+	}
+	runStart := time.Now()
+	probs := fam.Functions[fnID].Run(feature)
+	m.enrichNanos.Add(int64(time.Since(runStart)))
+	m.enrichments.Add(1)
+	start := time.Now()
+	err := st.SetOutput(tid, attr, fnID, probs)
+	m.stateNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ApplyOutput records an externally produced function output (the loose
+// design's enrichment server returns outputs computed remotely). It counts
+// as an enrichment.
+func (m *Manager) ApplyOutput(relation string, tid int64, attr string, fnID int, probs []float64) error {
+	st := m.StateTable(relation)
+	if st == nil {
+		return fmt.Errorf("enrich: no state table for %s", relation)
+	}
+	if s := st.Get(tid, attr); s.Executed(fnID) {
+		m.skipped.Add(1)
+		return nil
+	}
+	m.enrichments.Add(1)
+	start := time.Now()
+	err := st.SetOutput(tid, attr, fnID, probs)
+	m.stateNanos.Add(int64(time.Since(start)))
+	return err
+}
+
+// Enriched reports whether function fnID already ran for (relation, tid,
+// attr) — the backing of the tight design's CheckState UDF.
+func (m *Manager) Enriched(relation string, tid int64, attr string, fnID int) bool {
+	st := m.StateTable(relation)
+	if st == nil {
+		return false
+	}
+	return st.Get(tid, attr).Executed(fnID)
+}
+
+// FullyEnriched reports whether every family function ran for the attribute
+// — the probe-query test of Figure 3 (popcount(bitmap) = |family|).
+func (m *Manager) FullyEnriched(relation string, tid int64, attr string) bool {
+	fam := m.Family(relation, attr)
+	if fam == nil {
+		return false
+	}
+	s := m.StateTable(relation).Get(tid, attr)
+	return s != nil && s.Bitmap == fam.FullBitmap()
+}
+
+// Determine runs the family's determinization function over the current
+// state, stores and returns the determined value. When the state cutoff has
+// pruned most of a stored distribution's mass, the corresponding function is
+// re-executed transiently (counted in ReExecutions) — the cost Table 10
+// trades against state size.
+func (m *Manager) Determine(relation string, tid int64, attr string, feature []float64) (types.Value, error) {
+	fam := m.Family(relation, attr)
+	if fam == nil {
+		return types.Null, fmt.Errorf("enrich: no family for %s.%s", relation, attr)
+	}
+	st := m.StateTable(relation)
+	s := st.Get(tid, attr)
+	if s == nil {
+		return types.Null, nil
+	}
+	outputs := make([][]float64, len(fam.Functions))
+	for id, o := range s.Outputs {
+		if o == nil {
+			continue
+		}
+		if o.Pruned && o.RetainedMass() < 0.5 {
+			// Not enough stored evidence: recover the full distribution.
+			reStart := time.Now()
+			outputs[id] = fam.Functions[id].Run(feature)
+			m.reExecNanos.Add(int64(time.Since(reStart)))
+			m.reExecutions.Add(1)
+		} else {
+			outputs[id] = o.Effective()
+		}
+	}
+	v := fam.Det.Determine(outputs, fam.Domain)
+	start := time.Now()
+	err := st.SetValue(tid, attr, v)
+	m.stateNanos.Add(int64(time.Since(start)))
+	if err != nil {
+		return types.Null, err
+	}
+	return v, nil
+}
+
+// Value returns the stored determined value of (relation, tid, attr) — the
+// backing of the tight design's GetValue UDF.
+func (m *Manager) Value(relation string, tid int64, attr string) types.Value {
+	st := m.StateTable(relation)
+	if st == nil {
+		return types.Null
+	}
+	s := st.Get(tid, attr)
+	if s == nil {
+		return types.Null
+	}
+	return s.Value
+}
+
+// ResetTuple clears a tuple's state after a base-table update (§3.3.5).
+func (m *Manager) ResetTuple(relation string, tid int64) {
+	if st := m.StateTable(relation); st != nil {
+		st.ResetTuple(tid)
+	}
+}
+
+// Counters returns a snapshot of the activity counters.
+func (m *Manager) Counters() Counters {
+	return Counters{
+		Enrichments:     m.enrichments.Load(),
+		Skipped:         m.skipped.Load(),
+		ReExecutions:    m.reExecutions.Load(),
+		ReExecTime:      time.Duration(m.reExecNanos.Load()),
+		StateUpdateTime: time.Duration(m.stateNanos.Load()),
+		EnrichTime:      time.Duration(m.enrichNanos.Load()),
+	}
+}
+
+// ResetCounters zeroes the activity counters (benchmark harness hygiene).
+func (m *Manager) ResetCounters() {
+	m.enrichments.Store(0)
+	m.skipped.Store(0)
+	m.reExecutions.Store(0)
+	m.reExecNanos.Store(0)
+	m.stateNanos.Store(0)
+	m.enrichNanos.Store(0)
+}
+
+// StateSizeBytes sums the size of every relation's state table.
+func (m *Manager) StateSizeBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	var total int64
+	for _, st := range m.states {
+		total += st.SizeBytes()
+	}
+	return total
+}

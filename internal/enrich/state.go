@@ -1,0 +1,295 @@
+package enrich
+
+import (
+	"fmt"
+	"sync"
+
+	"enrichdb/internal/types"
+)
+
+// Output is the stored result of one enrichment function execution. With a
+// state cutoff (§3.2), probabilities below the threshold are pruned from
+// storage; Pruned records that the stored distribution is partial.
+type Output struct {
+	// Probs has the domain's length; pruned entries are negative.
+	Probs  []float64
+	Pruned bool
+}
+
+const prunedMark = -1
+
+// RetainedMass sums the stored (non-pruned) probabilities.
+func (o *Output) RetainedMass() float64 {
+	s := 0.0
+	for _, p := range o.Probs {
+		if p >= 0 {
+			s += p
+		}
+	}
+	return s
+}
+
+// Effective returns the distribution with pruned entries as zero.
+func (o *Output) Effective() []float64 {
+	if !o.Pruned {
+		return o.Probs
+	}
+	out := make([]float64, len(o.Probs))
+	for i, p := range o.Probs {
+		if p >= 0 {
+			out[i] = p
+		}
+	}
+	return out
+}
+
+// AttrState is the state of one derived attribute of one tuple (§3.1): the
+// bitmap of executed functions, their outputs, and the current determined
+// value (the paper's AValue column).
+type AttrState struct {
+	Bitmap  uint64
+	Outputs []*Output // indexed by function ID; nil = not executed
+	Value   types.Value
+}
+
+// Executed reports whether function fnID has run.
+func (s *AttrState) Executed(fnID int) bool {
+	return s != nil && s.Bitmap&(1<<uint(fnID)) != 0
+}
+
+// StateTable holds the enrichment state of every tuple of one relation
+// (the paper's R_State table). It is safe for concurrent use.
+type StateTable struct {
+	Relation string
+
+	mu       sync.RWMutex
+	attrs    []string
+	attrIdx  map[string]int
+	families []*Family
+	cutoff   float64
+	rows     map[int64][]*AttrState
+}
+
+// newStateTable creates an empty state table.
+func newStateTable(relation string) *StateTable {
+	return &StateTable{
+		Relation: relation,
+		attrIdx:  make(map[string]int),
+		rows:     make(map[int64][]*AttrState),
+	}
+}
+
+// addFamily registers a derived attribute's family with the table.
+func (st *StateTable) addFamily(fam *Family) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if _, dup := st.attrIdx[fam.Attr]; dup {
+		return fmt.Errorf("enrich: family for %s.%s already registered", fam.Relation, fam.Attr)
+	}
+	if len(st.rows) > 0 {
+		return fmt.Errorf("enrich: cannot add family %s.%s after state exists", fam.Relation, fam.Attr)
+	}
+	st.attrIdx[fam.Attr] = len(st.attrs)
+	st.attrs = append(st.attrs, fam.Attr)
+	st.families = append(st.families, fam)
+	return nil
+}
+
+// SetCutoff sets the state-cutoff threshold (0 disables pruning). It only
+// affects outputs stored afterwards.
+func (st *StateTable) SetCutoff(c float64) {
+	st.mu.Lock()
+	st.cutoff = c
+	st.mu.Unlock()
+}
+
+// Get returns the state of (tid, attr), or nil when nothing was stored. The
+// returned pointer shares the table's storage; callers must treat it as
+// read-only.
+func (st *StateTable) Get(tid int64, attr string) *AttrState {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	ai, ok := st.attrIdx[attr]
+	if !ok {
+		return nil
+	}
+	row := st.rows[tid]
+	if row == nil {
+		return nil
+	}
+	return row[ai]
+}
+
+// ensure returns the mutable state of (tid, attr), allocating as needed.
+// Caller must hold st.mu.
+func (st *StateTable) ensure(tid int64, ai int) *AttrState {
+	row := st.rows[tid]
+	if row == nil {
+		row = make([]*AttrState, len(st.attrs))
+		st.rows[tid] = row
+	}
+	if row[ai] == nil {
+		row[ai] = &AttrState{Outputs: make([]*Output, len(st.families[ai].Functions))}
+	}
+	return row[ai]
+}
+
+// SetOutput records a function's output, applying the cutoff, and marks the
+// function executed.
+func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float64) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ai, ok := st.attrIdx[attr]
+	if !ok {
+		return fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
+	}
+	if fnID < 0 || fnID >= len(st.families[ai].Functions) {
+		return fmt.Errorf("enrich: %s.%s has no function %d", st.Relation, attr, fnID)
+	}
+	s := st.ensure(tid, ai)
+	out := &Output{Probs: make([]float64, len(probs))}
+	for i, p := range probs {
+		if st.cutoff > 0 && p < st.cutoff {
+			out.Probs[i] = prunedMark
+			out.Pruned = true
+		} else {
+			out.Probs[i] = p
+		}
+	}
+	s.Outputs[fnID] = out
+	s.Bitmap |= 1 << uint(fnID)
+	return nil
+}
+
+// SetValue stores the determined value for (tid, attr).
+func (st *StateTable) SetValue(tid int64, attr string, v types.Value) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	ai, ok := st.attrIdx[attr]
+	if !ok {
+		return fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
+	}
+	st.ensure(tid, ai).Value = v
+	return nil
+}
+
+// ResetTuple clears all enrichment state of a tuple — the paper's handling
+// of non-conflicting base-table updates (§3.3.5).
+func (st *StateTable) ResetTuple(tid int64) {
+	st.mu.Lock()
+	delete(st.rows, tid)
+	st.mu.Unlock()
+}
+
+// Attrs returns the registered derived attributes.
+func (st *StateTable) Attrs() []string {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]string, len(st.attrs))
+	copy(out, st.attrs)
+	return out
+}
+
+// SizeBytes estimates the storage footprint of the state table: bitmap and
+// value per attribute state plus 8 bytes per retained probability. This is
+// what Exp 5 reports.
+func (st *StateTable) SizeBytes() int64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var size int64
+	for _, row := range st.rows {
+		for _, s := range row {
+			if s == nil {
+				continue
+			}
+			size += 16 // bitmap + determined value
+			for _, o := range s.Outputs {
+				if o == nil {
+					continue
+				}
+				for _, p := range o.Probs {
+					if p >= 0 {
+						size += 8
+					}
+				}
+				size++ // pruned flag
+			}
+		}
+	}
+	return size
+}
+
+// TupleCount returns how many tuples have any state.
+func (st *StateTable) TupleCount() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.rows)
+}
+
+// StateRecord is the exported form of one (tuple, attribute) state, used by
+// snapshot persistence.
+type StateRecord struct {
+	TID     int64
+	Attr    string
+	Bitmap  uint64
+	Outputs []OutputRecord
+	Value   types.Value
+}
+
+// OutputRecord is the exported form of one stored function output.
+type OutputRecord struct {
+	FnID   int
+	Probs  []float64
+	Pruned bool
+}
+
+// Export returns every stored state as records, in unspecified order.
+func (st *StateTable) Export() []StateRecord {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []StateRecord
+	for tid, row := range st.rows {
+		for ai, s := range row {
+			if s == nil {
+				continue
+			}
+			rec := StateRecord{TID: tid, Attr: st.attrs[ai], Bitmap: s.Bitmap, Value: s.Value}
+			for fnID, o := range s.Outputs {
+				if o == nil {
+					continue
+				}
+				probs := make([]float64, len(o.Probs))
+				copy(probs, o.Probs)
+				rec.Outputs = append(rec.Outputs, OutputRecord{FnID: fnID, Probs: probs, Pruned: o.Pruned})
+			}
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Import restores exported records. The table's families must already be
+// registered and must cover every record's attribute and function ids.
+func (st *StateTable) Import(records []StateRecord) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, rec := range records {
+		ai, ok := st.attrIdx[rec.Attr]
+		if !ok {
+			return fmt.Errorf("enrich: import: %s has no derived attribute %s", st.Relation, rec.Attr)
+		}
+		nFns := len(st.families[ai].Functions)
+		s := st.ensure(rec.TID, ai)
+		s.Bitmap = rec.Bitmap
+		s.Value = rec.Value
+		for _, o := range rec.Outputs {
+			if o.FnID < 0 || o.FnID >= nFns {
+				return fmt.Errorf("enrich: import: %s.%s has no function %d", st.Relation, rec.Attr, o.FnID)
+			}
+			probs := make([]float64, len(o.Probs))
+			copy(probs, o.Probs)
+			s.Outputs[o.FnID] = &Output{Probs: probs, Pruned: o.Pruned}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"enrichdb/internal/types"
+)
+
+// TestBooleanNodesAsValueExpressions covers Eval (as opposed to EvalPred) on
+// the logical nodes: they must produce BOOL values, or NULL for Unknown.
+func TestBooleanNodesAsValueExpressions(t *testing.T) {
+	rs := testSchema(t)
+	r := row(rs, types.NewInt(1), types.NewInt(7), types.NewString("x"), types.Null, types.Null)
+
+	and := NewAnd(
+		NewCmp(EQ, NewCol("R", "a"), NewConst(types.NewInt(7))),
+		NewCmp(NE, NewCol("R", "b"), NewConst(types.NewString("y"))),
+	)
+	MustResolve(and, rs)
+	v, err := and.Eval(nil, r)
+	if err != nil || !v.Bool() {
+		t.Errorf("And.Eval = %v, %v", v, err)
+	}
+
+	or := NewOr(
+		NewCmp(EQ, NewCol("R", "a"), NewConst(types.NewInt(0))),
+		NewCmp(EQ, NewCol("R", "a"), NewConst(types.NewInt(7))),
+	)
+	MustResolve(or, rs)
+	v, err = or.Eval(nil, r)
+	if err != nil || !v.Bool() {
+		t.Errorf("Or.Eval = %v, %v", v, err)
+	}
+
+	not := &Not{Kid: NewCmp(EQ, NewCol("R", "a"), NewConst(types.NewInt(0)))}
+	MustResolve(not, rs)
+	v, err = not.Eval(nil, r)
+	if err != nil || !v.Bool() {
+		t.Errorf("Not.Eval = %v, %v", v, err)
+	}
+
+	isn := &IsNull{Kid: NewCol("R", "d")}
+	MustResolve(isn, rs)
+	v, err = isn.Eval(nil, r)
+	if err != nil || !v.Bool() {
+		t.Errorf("IsNull.Eval = %v, %v", v, err)
+	}
+
+	// Unknown evaluates to NULL as a value.
+	unk := NewCmp(EQ, NewCol("R", "d"), NewConst(types.NewInt(1)))
+	MustResolve(unk, rs)
+	v, err = unk.Eval(nil, r)
+	if err != nil || !v.IsNull() {
+		t.Errorf("Unknown as value = %v, %v", v, err)
+	}
+
+	tp := TruePred{}
+	v, err = tp.Eval(nil, r)
+	if err != nil || !v.Bool() {
+		t.Errorf("TruePred.Eval = %v, %v", v, err)
+	}
+	if tp.Clone().String() != "TRUE" {
+		t.Error("TruePred rendering")
+	}
+	visited := false
+	tp.Walk(func(Expr) { visited = true })
+	if !visited {
+		t.Error("TruePred.Walk")
+	}
+	if err := tp.Resolve(rs); err != nil {
+		t.Errorf("TruePred.Resolve: %v", err)
+	}
+}
+
+func TestIncomparableCmpErrors(t *testing.T) {
+	rs := testSchema(t)
+	r := row(rs, types.NewInt(1), types.NewInt(7), types.NewString("x"), types.Null, types.Null)
+	// string vs int: incomparable non-NULL values error.
+	c := NewCmp(LT, NewCol("R", "b"), NewConst(types.NewInt(1)))
+	MustResolve(c, rs)
+	if _, err := EvalPred(nil, c, r); err == nil {
+		t.Error("string < int must error")
+	}
+	if _, err := c.Eval(nil, r); err == nil {
+		t.Error("Eval path must error too")
+	}
+	// The error propagates through enclosing And/Or/Not.
+	wrapped := NewAnd(TruePred{}, c.Clone())
+	MustResolve(wrapped, rs)
+	if _, err := EvalPred(nil, wrapped, r); err == nil {
+		t.Error("error must propagate through And")
+	}
+	wrappedOr := NewOr(NewCmp(EQ, NewCol("R", "a"), NewConst(types.NewInt(0))), c.Clone())
+	MustResolve(wrappedOr, rs)
+	if _, err := EvalPred(nil, wrappedOr, r); err == nil {
+		t.Error("error must propagate through Or")
+	}
+	wrappedNot := &Not{Kid: c.Clone()}
+	MustResolve(wrappedNot, rs)
+	if _, err := EvalPred(nil, wrappedNot, r); err == nil {
+		t.Error("error must propagate through Not")
+	}
+}
+
+func TestRenderingCoverage(t *testing.T) {
+	e := NewOr(
+		NewAnd(
+			NewCmp(GE, NewCol("", "a"), NewConst(types.NewFloat(1.5))),
+			&IsNull{Kid: NewCol("T", "d"), Negate: true},
+		),
+		&Not{Kid: NewUDFCall(UDFGetValue, "T", "d")},
+	)
+	s := e.String()
+	for _, want := range []string{">=", "IS NOT NULL", "NOT", "GetValue(T, T.d)", "OR", "AND"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering %q missing %q", s, want)
+		}
+	}
+	ops := map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, want := range ops {
+		if op.String() != want {
+			t.Errorf("op %d renders %q", op, op.String())
+		}
+	}
+	if CmpOp(99).String() != "?" {
+		t.Error("unknown op rendering")
+	}
+	if UDFKind(9).String() != "udf?" {
+		t.Error("unknown UDF kind rendering")
+	}
+	if UDFCheckState.String() != "CheckState" || UDFReadUDF.String() != "read_udf" {
+		t.Error("UDF kind names")
+	}
+}
+
+func TestCmpOpNegate(t *testing.T) {
+	pairs := map[CmpOp]CmpOp{EQ: NE, NE: EQ, LT: GE, GE: LT, LE: GT, GT: LE}
+	for op, want := range pairs {
+		if op.Negate() != want {
+			t.Errorf("%s negates to %s", op, op.Negate())
+		}
+	}
+	if CmpOp(99).Negate() != CmpOp(99) {
+		t.Error("unknown op negation must be identity")
+	}
+}
+
+func TestResolveErrorPaths(t *testing.T) {
+	rs := testSchema(t)
+	bad := NewCmp(EQ, NewCol("R", "a"), NewCol("R", "zz"))
+	if err := bad.Resolve(rs); err == nil {
+		t.Error("bad right side must fail")
+	}
+	badAnd := NewAnd(NewCol("R", "zz"), TruePred{})
+	if err := badAnd.Resolve(rs); err == nil {
+		t.Error("bad conjunct must fail")
+	}
+	badUDF := NewUDFCall(UDFReadUDF, "NoAlias", "d")
+	if err := badUDF.Resolve(rs); err == nil {
+		t.Error("unknown alias must fail")
+	}
+	// Unresolved UDF eval fails.
+	r := row(rs, types.NewInt(1), types.NewInt(7), types.NewString("x"), types.Null, types.Null)
+	if _, err := NewUDFCall(UDFCheckState, "R", "d").Eval(&EvalCtx{Runtime: &countingRuntime{}}, r); err == nil {
+		t.Error("unresolved UDF eval must fail")
+	}
+	// MustResolve panics.
+	defer func() {
+		if recover() == nil {
+			t.Error("MustResolve must panic")
+		}
+	}()
+	MustResolve(NewCol("R", "zz"), rs)
+}
+
+func TestRowClone(t *testing.T) {
+	rs := testSchema(t)
+	r := row(rs, types.NewInt(1), types.NewInt(7), types.NewString("x"), types.Null, types.Null)
+	c := r.Clone()
+	c.Vals[1] = types.NewInt(99)
+	c.TIDs[0] = 5
+	if r.Vals[1].Int() != 7 || r.TIDs[0] != 1 {
+		t.Error("Clone must not share storage")
+	}
+}
+
+func TestNonBooleanPredicateErrors(t *testing.T) {
+	rs := testSchema(t)
+	r := row(rs, types.NewInt(1), types.NewInt(7), types.NewString("x"), types.Null, types.Null)
+	// A bare column of INT kind used as a predicate must error.
+	c := NewCol("R", "a")
+	MustResolve(c, rs)
+	if _, err := EvalPred(nil, c, r); err == nil {
+		t.Error("INT predicate must error")
+	}
+	// A bare NULL column is Unknown, not an error.
+	d := NewCol("R", "d")
+	MustResolve(d, rs)
+	tv, err := EvalPred(nil, d, r)
+	if err != nil || tv != Unknown {
+		t.Errorf("NULL predicate = %v, %v", tv, err)
+	}
+}

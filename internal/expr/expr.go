@@ -1,0 +1,617 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"enrichdb/internal/types"
+)
+
+// TV is a three-valued logic truth value (SQL semantics: comparisons with
+// NULL are Unknown, AND/OR/NOT follow Kleene logic).
+type TV int8
+
+// Truth values.
+const (
+	False   TV = -1
+	Unknown TV = 0
+	True    TV = 1
+)
+
+// And3 combines two truth values under Kleene AND.
+func And3(a, b TV) TV {
+	if a == False || b == False {
+		return False
+	}
+	if a == True && b == True {
+		return True
+	}
+	return Unknown
+}
+
+// Or3 combines two truth values under Kleene OR.
+func Or3(a, b TV) TV {
+	if a == True || b == True {
+		return True
+	}
+	if a == False && b == False {
+		return False
+	}
+	return Unknown
+}
+
+// Not3 negates a truth value.
+func Not3(a TV) TV { return -a }
+
+// CmpOp is a comparison operator.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator in SQL syntax.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return "?"
+	}
+}
+
+// Negate returns the complementary operator (used when pushing NOT inward
+// during CNF conversion).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	default:
+		return op
+	}
+}
+
+// EvalCtx carries the runtime services expressions may need: the enrichment
+// runtime backing the tight design's UDFs, and counters. A nil Runtime is
+// valid for pure relational expressions.
+type EvalCtx struct {
+	Runtime EnrichRuntime
+	// UDFInvocations counts every UDF call evaluated through this context;
+	// the paper's Exp 4 measures this invocation overhead.
+	UDFInvocations int64
+}
+
+// EnrichRuntime is the service interface behind the tight design's UDFs
+// (§2.2, §3.3.3). The progressive executor provides an implementation that
+// consults the state tables and the epoch's PlanTable.
+type EnrichRuntime interface {
+	// CheckState reports whether, for the current plan, tuple tid of rel has
+	// already had the planned enrichment function(s) executed for attr.
+	CheckState(rel string, tid int64, attr string) (bool, error)
+	// GetValue returns the latest determined value of a derived attribute.
+	GetValue(rel string, tid int64, attr string) (types.Value, error)
+	// ReadUDF executes the enrichment function(s) the PlanTable assigns to
+	// (rel, tid, attr), updates the state, and returns the determined value.
+	ReadUDF(rel string, tid int64, attr string) (types.Value, error)
+}
+
+// Expr is a typed expression evaluated against executor rows.
+type Expr interface {
+	// Eval computes the expression's value for the row.
+	Eval(ctx *EvalCtx, row *Row) (types.Value, error)
+	// Resolve binds column references against the row schema. It must be
+	// called once before Eval.
+	Resolve(rs *RowSchema) error
+	// Clone returns a deep copy with unresolved bindings preserved.
+	Clone() Expr
+	// Walk visits the node and all children.
+	Walk(fn func(Expr))
+	// String renders the expression in SQL-ish syntax.
+	String() string
+}
+
+// EvalPred evaluates a boolean expression under three-valued logic.
+func EvalPred(ctx *EvalCtx, e Expr, row *Row) (TV, error) {
+	switch n := e.(type) {
+	case *And:
+		out := True
+		for _, c := range n.Kids {
+			tv, err := EvalPred(ctx, c, row)
+			if err != nil {
+				return Unknown, err
+			}
+			out = And3(out, tv)
+			if out == False {
+				return False, nil // short-circuit: later conjuncts never evaluated
+			}
+		}
+		return out, nil
+	case *Or:
+		out := False
+		for _, c := range n.Kids {
+			tv, err := EvalPred(ctx, c, row)
+			if err != nil {
+				return Unknown, err
+			}
+			out = Or3(out, tv)
+			if out == True {
+				return True, nil
+			}
+		}
+		return out, nil
+	case *Not:
+		tv, err := EvalPred(ctx, n.Kid, row)
+		if err != nil {
+			return Unknown, err
+		}
+		return Not3(tv), nil
+	case *IsNull:
+		v, err := n.Kid.Eval(ctx, row)
+		if err != nil {
+			return Unknown, err
+		}
+		got := v.IsNull()
+		if n.Negate {
+			got = !got
+		}
+		if got {
+			return True, nil
+		}
+		return False, nil
+	case *Cmp:
+		return n.eval3(ctx, row)
+	case *TruePred:
+		return True, nil
+	default:
+		v, err := e.Eval(ctx, row)
+		if err != nil {
+			return Unknown, err
+		}
+		if v.IsNull() {
+			return Unknown, nil
+		}
+		if v.Kind() == types.KindBool {
+			if v.Bool() {
+				return True, nil
+			}
+			return False, nil
+		}
+		return Unknown, fmt.Errorf("expr: non-boolean predicate %s", e)
+	}
+}
+
+// Col is a (possibly qualified) column reference.
+type Col struct {
+	Alias string // table alias; empty means unqualified
+	Name  string
+
+	// Bound state, set by Resolve.
+	Index   int
+	Slot    int
+	Derived bool
+	bound   bool
+}
+
+// NewCol returns an unresolved column reference.
+func NewCol(alias, name string) *Col { return &Col{Alias: alias, Name: name, Index: -1} }
+
+// Eval returns the column's value from the row.
+func (c *Col) Eval(_ *EvalCtx, row *Row) (types.Value, error) {
+	if !c.bound {
+		return types.Null, fmt.Errorf("expr: unresolved column %s", c)
+	}
+	return row.Vals[c.Index], nil
+}
+
+// Resolve binds the reference against the row schema.
+func (c *Col) Resolve(rs *RowSchema) error {
+	i, err := rs.Lookup(c.Alias, c.Name)
+	if err != nil {
+		return err
+	}
+	c.Index = i
+	c.Slot = rs.Cols[i].Slot
+	c.Derived = rs.Cols[i].Derived
+	c.bound = true
+	return nil
+}
+
+// Clone copies the reference, dropping bound state.
+func (c *Col) Clone() Expr { return &Col{Alias: c.Alias, Name: c.Name, Index: -1} }
+
+// Walk visits the node.
+func (c *Col) Walk(fn func(Expr)) { fn(c) }
+
+// String renders the reference.
+func (c *Col) String() string {
+	if c.Alias == "" {
+		return c.Name
+	}
+	return c.Alias + "." + c.Name
+}
+
+// Const is a literal value.
+type Const struct{ Val types.Value }
+
+// NewConst returns a literal expression.
+func NewConst(v types.Value) *Const { return &Const{Val: v} }
+
+// Eval returns the literal.
+func (c *Const) Eval(*EvalCtx, *Row) (types.Value, error) { return c.Val, nil }
+
+// Resolve is a no-op for literals.
+func (c *Const) Resolve(*RowSchema) error { return nil }
+
+// Clone copies the literal.
+func (c *Const) Clone() Expr { return &Const{Val: c.Val} }
+
+// Walk visits the node.
+func (c *Const) Walk(fn func(Expr)) { fn(c) }
+
+// String renders the literal.
+func (c *Const) String() string { return c.Val.String() }
+
+// Cmp is a binary comparison.
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// NewCmp returns a comparison expression.
+func NewCmp(op CmpOp, l, r Expr) *Cmp { return &Cmp{Op: op, L: l, R: r} }
+
+func (c *Cmp) eval3(ctx *EvalCtx, row *Row) (TV, error) {
+	lv, err := c.L.Eval(ctx, row)
+	if err != nil {
+		return Unknown, err
+	}
+	rv, err := c.R.Eval(ctx, row)
+	if err != nil {
+		return Unknown, err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return Unknown, nil
+	}
+	cmp, ok := lv.Compare(rv)
+	if !ok {
+		return Unknown, fmt.Errorf("expr: incomparable values %s %s %s", lv, c.Op, rv)
+	}
+	var res bool
+	switch c.Op {
+	case EQ:
+		res = cmp == 0
+	case NE:
+		res = cmp != 0
+	case LT:
+		res = cmp < 0
+	case LE:
+		res = cmp <= 0
+	case GT:
+		res = cmp > 0
+	case GE:
+		res = cmp >= 0
+	}
+	if res {
+		return True, nil
+	}
+	return False, nil
+}
+
+// Eval evaluates the comparison to a BOOL (or NULL for Unknown).
+func (c *Cmp) Eval(ctx *EvalCtx, row *Row) (types.Value, error) {
+	tv, err := c.eval3(ctx, row)
+	if err != nil {
+		return types.Null, err
+	}
+	if tv == Unknown {
+		return types.Null, nil
+	}
+	return types.NewBool(tv == True), nil
+}
+
+// Resolve binds both sides.
+func (c *Cmp) Resolve(rs *RowSchema) error {
+	if err := c.L.Resolve(rs); err != nil {
+		return err
+	}
+	return c.R.Resolve(rs)
+}
+
+// Clone deep-copies the comparison.
+func (c *Cmp) Clone() Expr { return &Cmp{Op: c.Op, L: c.L.Clone(), R: c.R.Clone()} }
+
+// Walk visits the node and both sides.
+func (c *Cmp) Walk(fn func(Expr)) { fn(c); c.L.Walk(fn); c.R.Walk(fn) }
+
+// String renders the comparison.
+func (c *Cmp) String() string { return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R) }
+
+// And is an n-ary conjunction.
+type And struct{ Kids []Expr }
+
+// NewAnd builds a conjunction, flattening nested Ands.
+func NewAnd(kids ...Expr) Expr {
+	flat := make([]Expr, 0, len(kids))
+	for _, k := range kids {
+		if a, ok := k.(*And); ok {
+			flat = append(flat, a.Kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &And{Kids: flat}
+}
+
+// Eval evaluates the conjunction to BOOL/NULL.
+func (a *And) Eval(ctx *EvalCtx, row *Row) (types.Value, error) { return predToVal(ctx, a, row) }
+
+// Resolve binds every conjunct.
+func (a *And) Resolve(rs *RowSchema) error { return resolveAll(rs, a.Kids) }
+
+// Clone deep-copies the conjunction.
+func (a *And) Clone() Expr { return &And{Kids: cloneAll(a.Kids)} }
+
+// Walk visits the node and all conjuncts.
+func (a *And) Walk(fn func(Expr)) { fn(a); walkAll(fn, a.Kids) }
+
+// String renders the conjunction.
+func (a *And) String() string { return joinKids(a.Kids, " AND ") }
+
+// Or is an n-ary disjunction.
+type Or struct{ Kids []Expr }
+
+// NewOr builds a disjunction, flattening nested Ors.
+func NewOr(kids ...Expr) Expr {
+	flat := make([]Expr, 0, len(kids))
+	for _, k := range kids {
+		if o, ok := k.(*Or); ok {
+			flat = append(flat, o.Kids...)
+		} else {
+			flat = append(flat, k)
+		}
+	}
+	if len(flat) == 1 {
+		return flat[0]
+	}
+	return &Or{Kids: flat}
+}
+
+// Eval evaluates the disjunction to BOOL/NULL.
+func (o *Or) Eval(ctx *EvalCtx, row *Row) (types.Value, error) { return predToVal(ctx, o, row) }
+
+// Resolve binds every disjunct.
+func (o *Or) Resolve(rs *RowSchema) error { return resolveAll(rs, o.Kids) }
+
+// Clone deep-copies the disjunction.
+func (o *Or) Clone() Expr { return &Or{Kids: cloneAll(o.Kids)} }
+
+// Walk visits the node and all disjuncts.
+func (o *Or) Walk(fn func(Expr)) { fn(o); walkAll(fn, o.Kids) }
+
+// String renders the disjunction.
+func (o *Or) String() string { return "(" + joinKids(o.Kids, " OR ") + ")" }
+
+// Not is logical negation.
+type Not struct{ Kid Expr }
+
+// Eval evaluates the negation to BOOL/NULL.
+func (n *Not) Eval(ctx *EvalCtx, row *Row) (types.Value, error) { return predToVal(ctx, n, row) }
+
+// Resolve binds the operand.
+func (n *Not) Resolve(rs *RowSchema) error { return n.Kid.Resolve(rs) }
+
+// Clone deep-copies the negation.
+func (n *Not) Clone() Expr { return &Not{Kid: n.Kid.Clone()} }
+
+// Walk visits the node and operand.
+func (n *Not) Walk(fn func(Expr)) { fn(n); n.Kid.Walk(fn) }
+
+// String renders the negation.
+func (n *Not) String() string { return "NOT (" + n.Kid.String() + ")" }
+
+// IsNull tests for NULL (or, with Negate, NOT NULL). The loose design's
+// probe-query rewrite (§2.1 Step 1) injects these tests.
+type IsNull struct {
+	Kid    Expr
+	Negate bool
+}
+
+// Eval evaluates the NULL test (never Unknown).
+func (n *IsNull) Eval(ctx *EvalCtx, row *Row) (types.Value, error) { return predToVal(ctx, n, row) }
+
+// Resolve binds the operand.
+func (n *IsNull) Resolve(rs *RowSchema) error { return n.Kid.Resolve(rs) }
+
+// Clone deep-copies the test.
+func (n *IsNull) Clone() Expr { return &IsNull{Kid: n.Kid.Clone(), Negate: n.Negate} }
+
+// Walk visits the node and operand.
+func (n *IsNull) Walk(fn func(Expr)) { fn(n); n.Kid.Walk(fn) }
+
+// String renders the test.
+func (n *IsNull) String() string {
+	if n.Negate {
+		return n.Kid.String() + " IS NOT NULL"
+	}
+	return n.Kid.String() + " IS NULL"
+}
+
+// TruePred is the always-true predicate (an empty WHERE clause).
+type TruePred struct{}
+
+// Eval returns TRUE.
+func (TruePred) Eval(*EvalCtx, *Row) (types.Value, error) { return types.NewBool(true), nil }
+
+// Resolve is a no-op.
+func (TruePred) Resolve(*RowSchema) error { return nil }
+
+// Clone returns the predicate itself (it is stateless).
+func (t TruePred) Clone() Expr { return t }
+
+// Walk visits the node.
+func (t TruePred) Walk(fn func(Expr)) { fn(t) }
+
+// String renders the predicate.
+func (TruePred) String() string { return "TRUE" }
+
+// UDFKind identifies one of the tight design's built-in UDFs.
+type UDFKind uint8
+
+// The three UDFs of §3.3.3.
+const (
+	UDFCheckState UDFKind = iota
+	UDFGetValue
+	UDFReadUDF
+)
+
+// String returns the paper's name for the UDF.
+func (k UDFKind) String() string {
+	switch k {
+	case UDFCheckState:
+		return "CheckState"
+	case UDFGetValue:
+		return "GetValue"
+	case UDFReadUDF:
+		return "read_udf"
+	default:
+		return "udf?"
+	}
+}
+
+// UDFCall invokes one of the tight design's UDFs on a derived attribute of a
+// specific table slot. The tuple id argument of the paper's UDF signature is
+// pulled from the row at evaluation time.
+type UDFCall struct {
+	Kind  UDFKind
+	Alias string // table alias whose tuple the UDF applies to
+	Attr  string // derived attribute name
+
+	slot     int
+	relation string
+	bound    bool
+}
+
+// NewUDFCall returns an unresolved UDF invocation.
+func NewUDFCall(kind UDFKind, alias, attr string) *UDFCall {
+	return &UDFCall{Kind: kind, Alias: alias, Attr: attr}
+}
+
+// Eval dispatches to the enrichment runtime.
+func (u *UDFCall) Eval(ctx *EvalCtx, row *Row) (types.Value, error) {
+	if !u.bound {
+		return types.Null, fmt.Errorf("expr: unresolved UDF call %s", u)
+	}
+	if ctx == nil || ctx.Runtime == nil {
+		return types.Null, fmt.Errorf("expr: UDF %s evaluated without enrichment runtime", u)
+	}
+	ctx.UDFInvocations++
+	tid := row.TIDs[u.slot]
+	switch u.Kind {
+	case UDFCheckState:
+		ok, err := ctx.Runtime.CheckState(u.relation, tid, u.Attr)
+		if err != nil {
+			return types.Null, err
+		}
+		return types.NewBool(ok), nil
+	case UDFGetValue:
+		return ctx.Runtime.GetValue(u.relation, tid, u.Attr)
+	case UDFReadUDF:
+		return ctx.Runtime.ReadUDF(u.relation, tid, u.Attr)
+	default:
+		return types.Null, fmt.Errorf("expr: unknown UDF kind %d", u.Kind)
+	}
+}
+
+// Resolve binds the call to its table slot.
+func (u *UDFCall) Resolve(rs *RowSchema) error {
+	si := rs.SlotByAlias(u.Alias)
+	if si < 0 {
+		return fmt.Errorf("expr: UDF %s references unknown alias %q", u.Kind, u.Alias)
+	}
+	u.slot = si
+	u.relation = rs.Slots[si].Relation
+	u.bound = true
+	return nil
+}
+
+// Clone copies the call, dropping bound state.
+func (u *UDFCall) Clone() Expr { return &UDFCall{Kind: u.Kind, Alias: u.Alias, Attr: u.Attr} }
+
+// Walk visits the node.
+func (u *UDFCall) Walk(fn func(Expr)) { fn(u) }
+
+// String renders the call in the paper's notation.
+func (u *UDFCall) String() string {
+	return fmt.Sprintf("%s(%s, %s.%s)", u.Kind, u.Alias, u.Alias, u.Attr)
+}
+
+func predToVal(ctx *EvalCtx, e Expr, row *Row) (types.Value, error) {
+	tv, err := EvalPred(ctx, e, row)
+	if err != nil {
+		return types.Null, err
+	}
+	if tv == Unknown {
+		return types.Null, nil
+	}
+	return types.NewBool(tv == True), nil
+}
+
+func resolveAll(rs *RowSchema, kids []Expr) error {
+	for _, k := range kids {
+		if err := k.Resolve(rs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cloneAll(kids []Expr) []Expr {
+	out := make([]Expr, len(kids))
+	for i, k := range kids {
+		out[i] = k.Clone()
+	}
+	return out
+}
+
+func walkAll(fn func(Expr), kids []Expr) {
+	for _, k := range kids {
+		k.Walk(fn)
+	}
+}
+
+func joinKids(kids []Expr, sep string) string {
+	parts := make([]string, len(kids))
+	for i, k := range kids {
+		parts[i] = k.String()
+	}
+	return strings.Join(parts, sep)
+}

@@ -1,0 +1,216 @@
+package loose
+
+import (
+	"fmt"
+	"time"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/expr"
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/storage"
+)
+
+// Timing breaks a loose query execution into the components of Table 11.
+type Timing struct {
+	// Probe is the time spent generating and running probe queries (DBMS).
+	Probe time.Duration
+	// Enrich is the enrichment-server compute time (the "ES" column).
+	Enrich time.Duration
+	// Network is the transfer time between DBMS and enrichment server.
+	Network time.Duration
+	// DBMS is the final query execution plus write-back time.
+	DBMS time.Duration
+}
+
+// Total sums the components.
+func (t Timing) Total() time.Duration { return t.Probe + t.Enrich + t.Network + t.DBMS }
+
+// Result is the outcome of a loose, non-progressive query execution.
+type Result struct {
+	Rows []*expr.Row
+	// Enrichments is the number of enrichment function executions this
+	// query caused (Table 7).
+	Enrichments int64
+	// ProbeTuples is the total number of tuples the probe queries selected.
+	ProbeTuples int
+	Timing      Timing
+	Stats       engine.Stats
+}
+
+// Driver executes queries with the non-progressive loose design of §2.1:
+// probe → batch enrich at the server → write back → run the original query.
+type Driver struct {
+	DB  *storage.DB
+	Mgr *enrich.Manager
+	// Enricher is the enrichment server (local or remote). Defaults to a
+	// LocalEnricher over Mgr.
+	Enricher Enricher
+}
+
+// NewDriver builds a loose driver with an in-process enrichment server.
+func NewDriver(db *storage.DB, mgr *enrich.Manager) *Driver {
+	return &Driver{DB: db, Mgr: mgr, Enricher: &LocalEnricher{Mgr: mgr}}
+}
+
+// Execute runs one query end to end.
+func (d *Driver) Execute(query string) (*Result, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := engine.Analyze(stmt, d.DB.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return d.ExecuteAnalyzed(a)
+}
+
+// ExecuteAnalyzed runs an already-analyzed query.
+func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
+	res := &Result{}
+	ctx := engine.NewExecCtx()
+	before := d.Mgr.Counters().Enrichments
+
+	// Phase 1: probe queries identify the minimal enrichment set.
+	t0 := time.Now()
+	probes, err := GenerateProbes(a, d.DB, d.Mgr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.Probe = time.Since(t0)
+
+	// Phase 2: build the batch of (tuple, attr, function) requests — every
+	// not-yet-executed family function of every probe tuple.
+	reqs, err := d.BuildRequests(probes)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range probes {
+		res.ProbeTuples += len(p.TIDs)
+	}
+
+	// Phase 3: enrich at the server, then write the state and the
+	// determined values back into the DBMS.
+	if len(reqs) > 0 {
+		resps, timing, err := d.Enricher.EnrichBatch(reqs)
+		if err != nil {
+			return nil, err
+		}
+		res.Timing.Enrich = timing.Compute
+		res.Timing.Network = timing.Network
+		t1 := time.Now()
+		if err := d.WriteBack(resps); err != nil {
+			return nil, err
+		}
+		res.Timing.DBMS += time.Since(t1)
+	}
+
+	// Phase 4: execute the original query.
+	t2 := time.Now()
+	plan, err := engine.Build(a, d.DB)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	res.Timing.DBMS += time.Since(t2)
+	res.Rows = rows
+	res.Enrichments = d.Mgr.Counters().Enrichments - before
+	res.Stats = *ctx.Stats
+	return res, nil
+}
+
+// BuildRequests expands probe results into enrichment requests: for each
+// probe tuple and needed attribute, one request per family function whose
+// state bit is still unset.
+func (d *Driver) BuildRequests(probes []ProbeResult) ([]Request, error) {
+	var reqs []Request
+	for _, p := range probes {
+		tbl, err := d.DB.Table(p.Relation)
+		if err != nil {
+			return nil, err
+		}
+		schema := tbl.Schema()
+		for _, tid := range p.TIDs {
+			tu := tbl.Get(tid)
+			if tu == nil {
+				continue
+			}
+			for _, attr := range p.Attrs {
+				fam := d.Mgr.Family(p.Relation, attr)
+				if fam == nil {
+					return nil, fmt.Errorf("loose: no family registered for %s.%s", p.Relation, attr)
+				}
+				col := schema.Col(attr)
+				if col == nil {
+					return nil, fmt.Errorf("loose: %s has no column %s", p.Relation, attr)
+				}
+				fi := schema.ColIndex(col.FeatureCol)
+				feature := tu.Vals[fi].Vector()
+				for _, fn := range fam.Functions {
+					if d.Mgr.Enriched(p.Relation, tid, attr, fn.ID) {
+						continue
+					}
+					reqs = append(reqs, Request{
+						Relation: p.Relation, TID: tid, Attr: attr, FnID: fn.ID, Feature: feature,
+					})
+				}
+			}
+		}
+	}
+	return reqs, nil
+}
+
+// WriteBack stores the server's outputs in the state tables, determinizes
+// each touched (tuple, attribute), and updates the base tables so queries
+// see the determined values.
+func (d *Driver) WriteBack(resps []Response) error {
+	type ta struct {
+		rel  string
+		tid  int64
+		attr string
+	}
+	touched := make(map[ta][]float64)
+	for _, r := range resps {
+		if err := d.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
+			return err
+		}
+		touched[ta{r.Relation, r.TID, r.Attr}] = r.Feature(d.DB)
+	}
+	for k, feature := range touched {
+		v, err := d.Mgr.Determine(k.rel, k.tid, k.attr, feature)
+		if err != nil {
+			return err
+		}
+		tbl, err := d.DB.Table(k.rel)
+		if err != nil {
+			return err
+		}
+		if _, err := tbl.Update(k.tid, k.attr, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Feature re-reads the tuple's feature vector for the response's attribute
+// (needed by determinization's cutoff re-execution path).
+func (r Response) Feature(db *storage.DB) []float64 {
+	tbl, err := db.Table(r.Relation)
+	if err != nil {
+		return nil
+	}
+	tu := tbl.Get(r.TID)
+	if tu == nil {
+		return nil
+	}
+	schema := tbl.Schema()
+	col := schema.Col(r.Attr)
+	if col == nil {
+		return nil
+	}
+	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector()
+}

@@ -1,0 +1,146 @@
+package loose
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"enrichdb/internal/enrich"
+)
+
+// Request asks the enrichment server to run one enrichment function on one
+// tuple's feature vector.
+type Request struct {
+	Relation string
+	TID      int64
+	Attr     string
+	FnID     int
+	Feature  []float64
+}
+
+// Response carries one function's probability output back to the DBMS side.
+type Response struct {
+	Relation string
+	TID      int64
+	Attr     string
+	FnID     int
+	Probs    []float64
+}
+
+// BatchTiming splits a batch's cost into the components Table 11 reports.
+type BatchTiming struct {
+	// Compute is the time the enrichment server spent executing functions.
+	Compute time.Duration
+	// Network is the transfer time (zero for the in-process enricher).
+	Network time.Duration
+}
+
+// Enricher is the enrichment-server abstraction of the loose design.
+type Enricher interface {
+	// EnrichBatch executes the requested functions and returns their
+	// outputs. Batching is the loose design's per-object cost advantage
+	// over per-row UDF invocation (§5.2.1).
+	EnrichBatch(reqs []Request) ([]Response, BatchTiming, error)
+	// Close releases any transport resources.
+	Close() error
+}
+
+// LocalEnricher runs enrichment functions in process. It looks families up
+// in an enrich.Manager that acts as the server-side model registry.
+// Workers > 1 executes the batch in parallel — the scope for parallelism
+// that §1 of the paper lists as a loose-design advantage (the server owns
+// whole batches, unlike per-row UDF invocation inside the DBMS).
+type LocalEnricher struct {
+	Mgr *enrich.Manager
+	// Workers is the parallel execution width; 0 or 1 runs sequentially,
+	// negative uses GOMAXPROCS.
+	Workers int
+}
+
+// EnrichBatch implements Enricher.
+func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, error) {
+	start := time.Now()
+	resps := make([]Response, len(reqs))
+
+	// Validate up front so workers cannot race on error reporting, and
+	// dedup identical (relation, tuple, attr, function) requests — the
+	// paper's server-side state cache (§3.2): a self-join's probe queries
+	// list the same tuple under both aliases, but the function must run
+	// once. `unique` holds the first request index per key; duplicates copy
+	// its response afterwards.
+	type reqKey struct {
+		rel  string
+		tid  int64
+		attr string
+		fn   int
+	}
+	unique := make(map[reqKey]int, len(reqs))
+	var order []int
+	dup := make([]int, len(reqs)) // index of the canonical request, or own index
+	for i, r := range reqs {
+		fam := e.Mgr.Family(r.Relation, r.Attr)
+		if fam == nil {
+			return nil, BatchTiming{}, fmt.Errorf("loose: enricher has no family for %s.%s", r.Relation, r.Attr)
+		}
+		if r.FnID < 0 || r.FnID >= len(fam.Functions) {
+			return nil, BatchTiming{}, fmt.Errorf("loose: %s.%s has no function %d", r.Relation, r.Attr, r.FnID)
+		}
+		k := reqKey{r.Relation, r.TID, r.Attr, r.FnID}
+		if first, seen := unique[k]; seen {
+			dup[i] = first
+			continue
+		}
+		unique[k] = i
+		dup[i] = i
+		order = append(order, i)
+	}
+
+	workers := e.Workers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers <= 1 || len(order) < 2 {
+		for _, i := range order {
+			resps[i] = e.run(reqs[i])
+		}
+	} else {
+		if workers > len(order) {
+			workers = len(order)
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					resps[i] = e.run(reqs[i])
+				}
+			}()
+		}
+		for _, i := range order {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+	// Fill duplicate slots from their canonical execution.
+	for i := range reqs {
+		if dup[i] != i {
+			resp := resps[dup[i]]
+			resp.TID = reqs[i].TID // same tuple by construction, keep explicit
+			resps[i] = resp
+		}
+	}
+	return resps, BatchTiming{Compute: time.Since(start)}, nil
+}
+
+func (e *LocalEnricher) run(r Request) Response {
+	fam := e.Mgr.Family(r.Relation, r.Attr)
+	probs := fam.Functions[r.FnID].Run(r.Feature)
+	return Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Probs: probs}
+}
+
+// Close implements Enricher (no resources to release).
+func (e *LocalEnricher) Close() error { return nil }

@@ -1,0 +1,126 @@
+package remote
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"enrichdb/internal/loose"
+)
+
+// TestServerShutdownMidStream: a client whose server died must surface an
+// error from EnrichBatch, and the loose driver must propagate it instead of
+// returning partial results.
+func TestServerShutdownMidStream(t *testing.T) {
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// First batch works.
+	tbl := d.DB.MustTable("TweetData")
+	fi := tbl.Schema().ColIndex("feature")
+	reqs := []loose.Request{{
+		Relation: "TweetData", TID: 1, Attr: "sentiment", FnID: 0,
+		Feature: tbl.Get(1).Vals[fi].Vector(),
+	}}
+	if _, _, err := client.EnrichBatch(reqs); err != nil {
+		t.Fatalf("healthy batch: %v", err)
+	}
+
+	// Kill the server; the next batch must fail, not hang.
+	srv.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := client.EnrichBatch(reqs)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("batch against a dead server must fail")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch against a dead server hung")
+	}
+
+	// The driver propagates the failure.
+	drv := loose.NewDriver(d.DB, mgr)
+	drv.Enricher = client
+	if _, err := drv.Execute("SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 9000"); err == nil {
+		t.Error("driver must propagate enrichment-server failure")
+	}
+}
+
+// TestServerErrorLeavesStateClean: a failing batch must not half-apply
+// state — the driver only writes back after a successful EnrichBatch.
+func TestServerErrorLeavesStateClean(t *testing.T) {
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := Dial(addr)
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	srv.Close() // dead before first use
+	defer client.Close()
+
+	drv := loose.NewDriver(d.DB, mgr)
+	drv.Enricher = client
+	_, err = drv.Execute("SELECT * FROM TweetData WHERE sentiment = 1")
+	if err == nil {
+		t.Fatal("expected failure")
+	}
+	if c := mgr.Counters(); c.Enrichments != 0 {
+		t.Errorf("failed run applied %d enrichments", c.Enrichments)
+	}
+	// Recovery: switch to a local enricher and the same query succeeds.
+	drv.Enricher = &loose.LocalEnricher{Mgr: mgr}
+	res, err := drv.Execute("SELECT * FROM TweetData WHERE sentiment = 1")
+	if err != nil {
+		t.Fatalf("recovery run: %v", err)
+	}
+	if res.Enrichments == 0 {
+		t.Error("recovery run should enrich from scratch")
+	}
+}
+
+// TestPartialBatchErrorPropagatesCleanly: an invalid request inside an
+// otherwise valid batch fails the whole RPC with a useful message.
+func TestPartialBatchErrorPropagatesCleanly(t *testing.T) {
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tbl := d.DB.MustTable("TweetData")
+	fi := tbl.Schema().ColIndex("feature")
+	reqs := []loose.Request{
+		{Relation: "TweetData", TID: 1, Attr: "sentiment", FnID: 0, Feature: tbl.Get(1).Vals[fi].Vector()},
+		{Relation: "TweetData", TID: 2, Attr: "sentiment", FnID: 42, Feature: tbl.Get(2).Vals[fi].Vector()},
+	}
+	_, _, err = client.EnrichBatch(reqs)
+	if err == nil {
+		t.Fatal("invalid function id must fail")
+	}
+	if !strings.Contains(err.Error(), "function 42") {
+		t.Errorf("error should name the bad function: %v", err)
+	}
+}

@@ -1,0 +1,144 @@
+// Package remote runs the loose design's enrichment server as a separate
+// process (or goroutine) reachable over TCP via net/rpc with gob encoding.
+// It physically incurs the data-movement cost the paper's Table 11 measures
+// — feature vectors are serialized, shipped, and the outputs shipped back.
+package remote
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/loose"
+)
+
+// BatchArgs is the RPC request payload.
+type BatchArgs struct {
+	Reqs []loose.Request
+}
+
+// BatchReply is the RPC response payload. ComputeTime lets the client split
+// wall-clock into server compute vs. network transfer.
+type BatchReply struct {
+	Resps       []loose.Response
+	ComputeTime time.Duration
+}
+
+// Service is the RPC-exposed enrichment service.
+type Service struct {
+	local *loose.LocalEnricher
+}
+
+// Enrich executes a batch. The method shape follows net/rpc conventions.
+func (s *Service) Enrich(args *BatchArgs, reply *BatchReply) error {
+	resps, timing, err := s.local.EnrichBatch(args.Reqs)
+	if err != nil {
+		return err
+	}
+	reply.Resps = resps
+	reply.ComputeTime = timing.Compute
+	return nil
+}
+
+// Server is a running enrichment server.
+type Server struct {
+	lis    net.Listener
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Serve starts an enrichment server on addr (e.g. "127.0.0.1:0") backed by
+// the manager's registered families. It returns once the listener is bound;
+// connections are served on background goroutines.
+func Serve(addr string, mgr *enrich.Manager) (*Server, string, error) {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Enrichment", &Service{local: &loose.LocalEnricher{Mgr: mgr}}); err != nil {
+		return nil, "", err
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("remote: listen %s: %w", addr, err)
+	}
+	s := &Server{lis: lis, conns: make(map[net.Conn]struct{})}
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			go func() {
+				srv.ServeConn(conn)
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+			}()
+		}
+	}()
+	return s, lis.Addr().String(), nil
+}
+
+// Close stops the server: the listener and every active connection.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for conn := range s.conns {
+		conn.Close()
+	}
+	return s.lis.Close()
+}
+
+// Client is an Enricher that calls a remote enrichment server.
+type Client struct {
+	rpc *rpc.Client
+	// ExtraLatency is added (and accounted as network time) per batch; the
+	// benchmarks use it to emulate the paper's cross-server AWS link on top
+	// of the loopback transport.
+	ExtraLatency time.Duration
+}
+
+// Dial connects to a server started with Serve.
+func Dial(addr string) (*Client, error) {
+	c, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("remote: dial %s: %w", addr, err)
+	}
+	return &Client{rpc: c}, nil
+}
+
+// EnrichBatch implements loose.Enricher over the RPC transport.
+func (c *Client) EnrichBatch(reqs []loose.Request) ([]loose.Response, loose.BatchTiming, error) {
+	start := time.Now()
+	var reply BatchReply
+	if err := c.rpc.Call("Enrichment.Enrich", &BatchArgs{Reqs: reqs}, &reply); err != nil {
+		return nil, loose.BatchTiming{}, err
+	}
+	total := time.Since(start)
+	network := total - reply.ComputeTime
+	if network < 0 {
+		network = 0
+	}
+	if c.ExtraLatency > 0 {
+		time.Sleep(c.ExtraLatency)
+		network += c.ExtraLatency
+	}
+	return reply.Resps, loose.BatchTiming{Compute: reply.ComputeTime, Network: network}, nil
+}
+
+// Close releases the RPC connection.
+func (c *Client) Close() error { return c.rpc.Close() }

@@ -1,0 +1,165 @@
+package remote
+
+import (
+	"testing"
+
+	"enrichdb/internal/dataset"
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/loose"
+)
+
+func setup(t *testing.T) (*dataset.Data, *enrich.Manager) {
+	t.Helper()
+	d, err := dataset.Generate(dataset.Config{
+		Seed: 3, Tweets: 100, Images: 50, TopicDomain: 3, TrainPerClass: 15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := enrich.NewManager()
+	if err := d.RegisterFamilies(mgr, dataset.SingleFunctionSpecs()); err != nil {
+		t.Fatal(err)
+	}
+	return d, mgr
+}
+
+func TestRemoteRoundTrip(t *testing.T) {
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	tbl := d.DB.MustTable("TweetData")
+	fi := tbl.Schema().ColIndex("feature")
+	var reqs []loose.Request
+	for tid := int64(1); tid <= 20; tid++ {
+		reqs = append(reqs, loose.Request{
+			Relation: "TweetData", TID: tid, Attr: "sentiment", FnID: 0,
+			Feature: tbl.Get(tid).Vals[fi].Vector(),
+		})
+	}
+	resps, timing, err := client.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 20 {
+		t.Fatalf("responses: %d", len(resps))
+	}
+	if timing.Compute <= 0 {
+		t.Error("server must report compute time")
+	}
+
+	// Remote outputs must be identical to local execution of the same
+	// functions (deterministic models shared through the manager).
+	local := &loose.LocalEnricher{Mgr: mgr}
+	lresps, _, err := local.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range resps {
+		if resps[i].TID != lresps[i].TID || len(resps[i].Probs) != len(lresps[i].Probs) {
+			t.Fatalf("response %d shape mismatch", i)
+		}
+		for c := range resps[i].Probs {
+			if resps[i].Probs[c] != lresps[i].Probs[c] {
+				t.Fatalf("response %d prob %d: remote %v local %v",
+					i, c, resps[i].Probs[c], lresps[i].Probs[c])
+			}
+		}
+	}
+}
+
+func TestRemoteDriverEndToEnd(t *testing.T) {
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	drv := loose.NewDriver(d.DB, mgr)
+	drv.Enricher = client
+	res, err := drv.Execute("SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 5000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Enrichments == 0 {
+		t.Error("remote driver must enrich")
+	}
+	if res.Timing.Network <= 0 {
+		t.Error("TCP transport must report network time")
+	}
+	for _, r := range res.Rows {
+		if r.Vals[7].IsNull() { // sentiment
+			t.Fatal("result rows must be enriched")
+		}
+	}
+}
+
+func TestRemoteErrors(t *testing.T) {
+	_, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	// Unknown family propagates as an RPC error.
+	_, _, err = client.EnrichBatch([]loose.Request{{
+		Relation: "Nope", TID: 1, Attr: "x", FnID: 0, Feature: []float64{1},
+	}})
+	if err == nil {
+		t.Error("unknown relation must fail through RPC")
+	}
+
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port must fail")
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("double Close must be nil: %v", err)
+	}
+}
+
+func TestExtraLatencyAccounted(t *testing.T) {
+	_, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.ExtraLatency = 5_000_000 // 5ms
+
+	_, timing, err := client.EnrichBatch(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timing.Network < 5_000_000 {
+		t.Errorf("extra latency not accounted: %v", timing.Network)
+	}
+}

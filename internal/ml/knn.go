@@ -1,0 +1,61 @@
+package ml
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KNN is a k-nearest-neighbors classifier. Prediction scans the stored
+// training set, making it the most expensive per-object enrichment function —
+// exactly the cost profile the paper's plan strategies must work around.
+type KNN struct {
+	K       int
+	classes int
+	X       [][]float64
+	y       []int
+}
+
+// NewKNN returns a k-NN model; k defaults to 5 when non-positive.
+func NewKNN(k int) *KNN {
+	if k <= 0 {
+		k = 5
+	}
+	return &KNN{K: k}
+}
+
+// Name identifies the model including its k.
+func (k *KNN) Name() string { return fmt.Sprintf("knn%d", k.K) }
+
+// Classes returns the fitted class count.
+func (k *KNN) Classes() int { return k.classes }
+
+// Fit memorizes the training set.
+func (k *KNN) Fit(X [][]float64, y []int, classes int) error {
+	if err := validateFit(X, y, classes); err != nil {
+		return err
+	}
+	k.X, k.y, k.classes = X, y, classes
+	return nil
+}
+
+// PredictProba returns neighbor vote fractions over the classes.
+func (k *KNN) PredictProba(x []float64) []float64 {
+	type nd struct {
+		d float64
+		c int
+	}
+	ds := make([]nd, len(k.X))
+	for i, t := range k.X {
+		ds[i] = nd{sqDist(x, t), k.y[i]}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d < ds[j].d })
+	n := k.K
+	if n > len(ds) {
+		n = len(ds)
+	}
+	votes := make([]float64, k.classes)
+	for i := 0; i < n; i++ {
+		votes[ds[i].c]++
+	}
+	return Normalize(votes)
+}

@@ -1,0 +1,99 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Softmax always yields a probability distribution, for any finite
+// score vector.
+func TestSoftmaxDistributionQuick(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		for _, v := range []float64{a, b, c} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true // generator noise: skip non-finite inputs
+			}
+		}
+		// Clamp to a sane range; extreme magnitudes are covered separately.
+		clamp := func(v float64) float64 { return math.Mod(v, 1e6) }
+		p := Softmax([]float64{clamp(a), clamp(b), clamp(c)})
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Softmax is shift-invariant (adding a constant to every score
+// does not change the distribution).
+func TestSoftmaxShiftInvarianceQuick(t *testing.T) {
+	f := func(a, b int16, shift int16) bool {
+		p1 := Softmax([]float64{float64(a), float64(b)})
+		p2 := Softmax([]float64{float64(a) + float64(shift), float64(b) + float64(shift)})
+		return math.Abs(p1[0]-p2[0]) < 1e-9 && math.Abs(p1[1]-p2[1]) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Normalize preserves ratios of positive weights and always sums
+// to 1.
+func TestNormalizeQuick(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		w := []float64{float64(a), float64(b), float64(c)}
+		p := Normalize(w)
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return false
+		}
+		total := float64(a) + float64(b) + float64(c)
+		if total == 0 {
+			return p[0] == p[1] && p[1] == p[2]
+		}
+		for i, v := range p {
+			if math.Abs(v-w[i]/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Argmax returns an index whose value is maximal.
+func TestArgmaxQuick(t *testing.T) {
+	f := func(vals []float64) bool {
+		for _, v := range vals {
+			if math.IsNaN(v) {
+				return true // NaN ordering is unspecified
+			}
+		}
+		i := Argmax(vals)
+		if len(vals) == 0 {
+			return i == -1
+		}
+		for _, v := range vals {
+			if v > vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

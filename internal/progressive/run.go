@@ -1,0 +1,545 @@
+package progressive
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/expr"
+	"enrichdb/internal/ivm"
+	"enrichdb/internal/loose"
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/storage"
+	"enrichdb/internal/tight"
+	"enrichdb/internal/types"
+)
+
+// Design selects which of the paper's two architectures executes the
+// progressive run.
+type Design int
+
+// The two designs.
+const (
+	Loose Design = iota
+	Tight
+)
+
+// String names the design.
+func (d Design) String() string {
+	if d == Tight {
+		return "tight"
+	}
+	return "loose"
+}
+
+// Config parameterizes a progressive run.
+type Config struct {
+	Design Design
+	Query  string
+	DB     *storage.DB
+	Mgr    *enrich.Manager
+
+	// Enricher is the loose design's enrichment server; defaults to an
+	// in-process one over Mgr.
+	Enricher loose.Enricher
+
+	// Strategy is the PlanTable selection strategy (default SBFO, the
+	// paper's best performer).
+	Strategy Strategy
+	// EpochBudget caps each epoch's estimated plan cost (default 25ms).
+	EpochBudget time.Duration
+	// MaxEpochs bounds the run (default 200).
+	MaxEpochs int
+	Seed      int64
+
+	// Quality, when set, is evaluated on the view's rows after every epoch
+	// (e.g. F1 against ground truth); it feeds the progressive score.
+	Quality func(rows []*expr.Row) float64
+
+	// InvokeOverhead is the tight design's per-UDF-call cost.
+	InvokeOverhead time.Duration
+
+	// Recompute replaces IVM maintenance with from-scratch re-execution at
+	// the end of each epoch — the strawman Exp 4 compares IVM against.
+	Recompute bool
+
+	// CollectDeltas retains each epoch's inserted/deleted result rows in
+	// the EpochReport, so callers can fetch delta answers (§3.3.4) instead
+	// of re-reading the whole view.
+	CollectDeltas bool
+}
+
+// EpochReport is the per-epoch telemetry of a run.
+type EpochReport struct {
+	Epoch    int
+	Planned  int   // PlanTable rows
+	Executed int64 // enrichment functions actually run
+	Quality  float64
+	Wall     time.Duration
+
+	PlanTime    time.Duration
+	EnrichTime  time.Duration // function execution (server or in-DBMS)
+	NetworkTime time.Duration // loose only
+	DeltaTime   time.Duration // IVM apply (or re-execution with Recompute)
+
+	Inserted, Deleted int
+	// InsertedRows/DeletedRows hold the epoch's delta answers when
+	// Config.CollectDeltas is set.
+	InsertedRows, DeletedRows []*expr.Row
+	PlanTableBytes            int64
+}
+
+// Overheads aggregates the non-enrichment costs of Exp 4.
+type Overheads struct {
+	Setup  time.Duration // query setup: view materialization + probe queries
+	Plan   time.Duration // plan selection across epochs
+	Delta  time.Duration // delta answer computation across epochs
+	State  time.Duration // state-table updates (from the manager)
+	UDF    time.Duration // tight: UDF invocation time minus enrichment time
+	Enrich time.Duration // total enrichment function execution time
+}
+
+// Result is the outcome of a progressive run.
+type Result struct {
+	Design  Design
+	Epochs  []EpochReport
+	Quality []float64 // per epoch, starting with e₀'s value
+	Rows    []*expr.Row
+	View    *ivm.View // nil when Recompute was set
+
+	TotalEnrichments int64
+	Overhead         Overheads
+
+	PlanSpaceBytes int64 // at setup
+	MaxPlanBytes   int64
+	ViewBytes      int64
+}
+
+// Run executes a query progressively per the paper's §3.3 loop: setup in
+// epoch e₀ (materialize the IVM view, run probe queries into the
+// PlanSpaceTable), then per epoch plan → enrich → maintain the view → report
+// delta answers, until the plan space is exhausted or MaxEpochs is reached.
+func Run(cfg Config) (*Result, error) {
+	if cfg.DB == nil || cfg.Mgr == nil {
+		return nil, fmt.Errorf("progressive: Config needs DB and Mgr")
+	}
+	if cfg.EpochBudget <= 0 {
+		cfg.EpochBudget = 25 * time.Millisecond
+	}
+	if cfg.MaxEpochs <= 0 {
+		cfg.MaxEpochs = 200
+	}
+	if cfg.Enricher == nil {
+		cfg.Enricher = &loose.LocalEnricher{Mgr: cfg.Mgr}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+
+	stmt, err := sqlparser.Parse(cfg.Query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := engine.Analyze(stmt, cfg.DB.Catalog())
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{Design: cfg.Design}
+	countersBefore := cfg.Mgr.Counters()
+	ctx := engine.NewExecCtx()
+
+	// ---- Epoch e₀: query setup (§3.3.1). ----
+	setupStart := time.Now()
+	var view *ivm.View
+	if !cfg.Recompute {
+		view, err = ivm.New(a, cfg.DB, ctx)
+		if err != nil {
+			return nil, err
+		}
+	}
+	probes, err := loose.GenerateProbes(a, cfg.DB, cfg.Mgr, ctx)
+	if err != nil {
+		return nil, err
+	}
+	var entries []SpaceEntry
+	for _, p := range probes {
+		for _, tid := range p.TIDs {
+			entries = append(entries, SpaceEntry{Alias: p.Alias, Relation: p.Relation, TID: tid, Attrs: p.Attrs})
+		}
+	}
+	space := NewPlanSpace(entries)
+	res.PlanSpaceBytes = space.SizeBytes()
+	res.Overhead.Setup = time.Since(setupStart)
+
+	// The tight design's rewritten analysis and runtime are reused across
+	// epochs.
+	var rwa *engine.Analysis
+	var rt *tight.Runtime
+	if cfg.Design == Tight {
+		rwa, err = tight.RewriteAnalysis(a)
+		if err != nil {
+			return nil, err
+		}
+		rt = tight.NewRuntime(cfg.DB, cfg.Mgr)
+		rt.InvokeOverhead = cfg.InvokeOverhead
+	}
+
+	record := func() {
+		q := 0.0
+		if cfg.Quality != nil {
+			q = cfg.Quality(res.currentRows(view, a, cfg, ctx))
+		}
+		res.Quality = append(res.Quality, q)
+	}
+	record() // e₀ quality
+
+	// ---- Epochs e₁..e_g. ----
+	reExecBefore := cfg.Mgr.Counters().ReExecTime
+	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		if space.Compact(cfg.Mgr) == 0 {
+			break
+		}
+		epochStart := time.Now()
+		rep := EpochReport{Epoch: epoch}
+
+		// Epochs are fixed-duration (§3.3.2): time the previous epoch spent
+		// re-executing cutoff-pruned functions is charged against this
+		// epoch's enrichment budget.
+		reExecNow := cfg.Mgr.Counters().ReExecTime
+		debt := reExecNow - reExecBefore
+		reExecBefore = reExecNow
+		budget := cfg.EpochBudget - debt
+		if floor := cfg.EpochBudget / 10; budget < floor {
+			budget = floor
+		}
+
+		planStart := time.Now()
+		plan := space.Plan(cfg.Mgr, cfg.Strategy, budget, rng)
+		rep.PlanTime = time.Since(planStart)
+		rep.Planned = len(plan)
+		rep.PlanTableBytes = PlanSizeBytes(plan)
+		if rep.PlanTableBytes > res.MaxPlanBytes {
+			res.MaxPlanBytes = rep.PlanTableBytes
+		}
+		res.Overhead.Plan += rep.PlanTime
+		if len(plan) == 0 {
+			break
+		}
+
+		// Snapshot the planned tuples before enrichment mutates them.
+		snapshots := snapshotPlanned(cfg.DB, plan)
+
+		execBefore := cfg.Mgr.Counters()
+		switch cfg.Design {
+		case Loose:
+			timing, err := runLooseEpoch(cfg, plan)
+			if err != nil {
+				return nil, err
+			}
+			rep.EnrichTime = timing.Compute
+			rep.NetworkTime = timing.Network
+		case Tight:
+			enrichBefore := cfg.Mgr.Counters().EnrichTime
+			if err := runTightEpoch(cfg, a, rwa, rt, view, plan, ctx); err != nil {
+				return nil, err
+			}
+			rep.EnrichTime = cfg.Mgr.Counters().EnrichTime - enrichBefore
+		}
+		for _, it := range plan {
+			space.Consume(it)
+		}
+		rep.Executed = cfg.Mgr.Counters().Enrichments - execBefore.Enrichments
+		res.Overhead.Enrich += rep.EnrichTime
+
+		// Maintain the answer (§3.3.3): IVM delta, or the re-execution
+		// strawman.
+		deltaStart := time.Now()
+		if cfg.Recompute {
+			rows, err := executePlain(a, cfg.DB, ctx)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = rows
+		} else {
+			deltas := deltasFromSnapshots(cfg.DB, snapshots)
+			d, err := view.Apply(ctx, deltas)
+			if err != nil {
+				return nil, err
+			}
+			rep.Inserted = len(d.Inserted)
+			rep.Deleted = len(d.Deleted)
+			if cfg.CollectDeltas {
+				rep.InsertedRows = d.Inserted
+				rep.DeletedRows = d.Deleted
+			}
+		}
+		rep.DeltaTime = time.Since(deltaStart)
+		res.Overhead.Delta += rep.DeltaTime
+
+		rep.Wall = time.Since(epochStart)
+		record()
+		rep.Quality = res.Quality[len(res.Quality)-1]
+		res.Epochs = append(res.Epochs, rep)
+	}
+
+	if view != nil {
+		res.Rows = view.Rows()
+		res.View = view
+		res.ViewBytes = view.SizeBytes()
+	}
+	counters := cfg.Mgr.Counters()
+	res.TotalEnrichments = counters.Enrichments - countersBefore.Enrichments
+	res.Overhead.State = counters.StateUpdateTime - countersBefore.StateUpdateTime
+	if rt != nil {
+		udf := rt.CallTime - (counters.EnrichTime - countersBefore.EnrichTime)
+		if udf < 0 {
+			udf = 0
+		}
+		res.Overhead.UDF = udf
+	}
+	return res, nil
+}
+
+// currentRows returns the rows to score quality on.
+func (r *Result) currentRows(view *ivm.View, a *engine.Analysis, cfg Config, ctx *engine.ExecCtx) []*expr.Row {
+	if view != nil {
+		return view.Rows()
+	}
+	rows, err := executePlain(a, cfg.DB, ctx)
+	if err != nil {
+		return nil
+	}
+	return rows
+}
+
+func executePlain(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) ([]*expr.Row, error) {
+	plan, err := engine.Build(a, db)
+	if err != nil {
+		return nil, err
+	}
+	return plan.Execute(ctx)
+}
+
+// snapshotPlanned clones each planned tuple once, keyed by (relation, tid).
+func snapshotPlanned(db *storage.DB, plan []PlanItem) map[[2]interface{}]*types.Tuple {
+	snaps := make(map[[2]interface{}]*types.Tuple)
+	for _, it := range plan {
+		k := [2]interface{}{it.Relation, it.TID}
+		if _, ok := snaps[k]; ok {
+			continue
+		}
+		tbl, err := db.Table(it.Relation)
+		if err != nil {
+			continue
+		}
+		if tu := tbl.Get(it.TID); tu != nil {
+			snaps[k] = tu.Clone()
+		}
+	}
+	return snaps
+}
+
+func deltasFromSnapshots(db *storage.DB, snaps map[[2]interface{}]*types.Tuple) []ivm.TupleDelta {
+	var out []ivm.TupleDelta
+	for k, old := range snaps {
+		rel := k[0].(string)
+		tbl, err := db.Table(rel)
+		if err != nil {
+			continue
+		}
+		out = append(out, ivm.TupleDelta{Relation: rel, Old: old, New: tbl.Get(old.ID)})
+	}
+	return out
+}
+
+// runLooseEpoch executes the epoch's plan at the enrichment server and
+// writes state and determined values back (§3.3.3, loose).
+func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
+	var reqs []loose.Request
+	for _, it := range plan {
+		if cfg.Mgr.Enriched(it.Relation, it.TID, it.Attr, it.FnID) {
+			continue
+		}
+		feature, err := featureOf(cfg.DB, it.Relation, it.TID, it.Attr)
+		if err != nil {
+			return loose.BatchTiming{}, err
+		}
+		reqs = append(reqs, loose.Request{
+			Relation: it.Relation, TID: it.TID, Attr: it.Attr, FnID: it.FnID, Feature: feature,
+		})
+	}
+	if len(reqs) == 0 {
+		return loose.BatchTiming{}, nil
+	}
+	resps, timing, err := cfg.Enricher.EnrichBatch(reqs)
+	if err != nil {
+		return loose.BatchTiming{}, err
+	}
+	type ta struct {
+		rel  string
+		tid  int64
+		attr string
+	}
+	touched := make(map[ta]bool)
+	for _, r := range resps {
+		if err := cfg.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
+			return timing, err
+		}
+		touched[ta{r.Relation, r.TID, r.Attr}] = true
+	}
+	for k := range touched {
+		feature, err := featureOf(cfg.DB, k.rel, k.tid, k.attr)
+		if err != nil {
+			return timing, err
+		}
+		v, err := cfg.Mgr.Determine(k.rel, k.tid, k.attr, feature)
+		if err != nil {
+			return timing, err
+		}
+		tbl, err := cfg.DB.Table(k.rel)
+		if err != nil {
+			return timing, err
+		}
+		if _, err := tbl.Update(k.tid, k.attr, v); err != nil {
+			return timing, err
+		}
+	}
+	return timing, nil
+}
+
+// runTightEpoch evaluates the rewritten query over the epoch's planned
+// tuples (§3.3.3, tight): the rewritten selection predicates run first —
+// short-circuiting fixed and earlier derived conditions spares read_udf
+// calls — and surviving rows are joined against the view's current inputs
+// under the rewritten (UDF-bearing, nested-loop) join conditions, enriching
+// join attributes lazily per pair.
+func runTightEpoch(cfg Config, a, rwa *engine.Analysis, rt *tight.Runtime, view *ivm.View, plan []PlanItem, _ *engine.ExecCtx) error {
+	type af struct {
+		attr string
+		fn   int
+	}
+	// Planned triplets grouped by alias then tuple id.
+	byAliasTID := make(map[string]map[int64][]af)
+	for _, it := range plan {
+		m := byAliasTID[it.Alias]
+		if m == nil {
+			m = make(map[int64][]af)
+			byAliasTID[it.Alias] = m
+		}
+		m[it.TID] = append(m[it.TID], af{it.Attr, it.FnID})
+	}
+
+	rt.Planned = func(relation string, tid int64, attr string) []int {
+		var out []int
+		for alias, m := range byAliasTID {
+			tm := a.Table(alias)
+			if tm == nil || tm.Relation != relation {
+				continue
+			}
+			for _, x := range m[tid] {
+				if x.attr == attr {
+					out = append(out, x.fn)
+				}
+			}
+		}
+		return out
+	}
+	defer func() { rt.Planned = nil }()
+
+	ectx := engine.NewExecCtx()
+	ectx.Eval.Runtime = rt
+
+	for _, tm := range rwa.Tables {
+		tidMap := byAliasTID[tm.Alias]
+		if len(tidMap) == 0 {
+			continue
+		}
+		tbl, err := cfg.DB.Table(tm.Relation)
+		if err != nil {
+			return err
+		}
+		rs := expr.SchemaForTable(tm.Alias, tm.Schema)
+		var rows []*expr.Row
+		for tid := range tidMap {
+			if tu := tbl.Get(tid); tu != nil {
+				rows = append(rows, expr.RowFromTuple(rs, tu))
+			}
+		}
+		// Rewritten selection over the planned tuples: this is where
+		// read_udf fires for selection attributes.
+		selPred := rewrittenSelPred(rwa, tm.Alias)
+		if err := selPred.Resolve(rs); err != nil {
+			return err
+		}
+		var survivors []*expr.Row
+		for _, r := range rows {
+			tv, err := expr.EvalPred(ectx.Eval, selPred, r)
+			if err != nil {
+				return err
+			}
+			if tv == expr.True {
+				survivors = append(survivors, r)
+			}
+		}
+		if len(rwa.Tables) == 1 || len(survivors) == 0 || view == nil {
+			continue
+		}
+		// Join the survivors against the other aliases' current view
+		// inputs under the rewritten join conditions.
+		leaves := make([]engine.Plan, len(rwa.Tables))
+		for li, other := range rwa.Tables {
+			if other.Alias == tm.Alias {
+				leaves[li] = engine.NewRows(rs, survivors)
+				continue
+			}
+			ors := expr.SchemaForTable(other.Alias, other.Schema)
+			leaves[li] = engine.NewRows(ors, view.InputRows(other.Alias))
+		}
+		joinPlan, err := engine.BuildJoinTree(rwa, leaves)
+		if err != nil {
+			return err
+		}
+		if _, err := joinPlan.Execute(ectx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// rewrittenSelPred conjoins the rewritten selection conditions of an alias,
+// fixed conditions first (preserving the short-circuit savings).
+func rewrittenSelPred(rwa *engine.Analysis, alias string) expr.Expr {
+	var kids []expr.Expr
+	for _, c := range rwa.Sel[alias] {
+		if !c.Derived {
+			kids = append(kids, c.E.Clone())
+		}
+	}
+	for _, c := range rwa.Sel[alias] {
+		if c.Derived {
+			kids = append(kids, c.E.Clone())
+		}
+	}
+	if len(kids) == 0 {
+		return expr.TruePred{}
+	}
+	return expr.NewAnd(kids...)
+}
+
+func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, error) {
+	tbl, err := db.Table(relation)
+	if err != nil {
+		return nil, err
+	}
+	tu := tbl.Get(tid)
+	if tu == nil {
+		return nil, fmt.Errorf("progressive: %s has no tuple %d", relation, tid)
+	}
+	schema := tbl.Schema()
+	col := schema.Col(attr)
+	if col == nil {
+		return nil, fmt.Errorf("progressive: %s has no column %s", relation, attr)
+	}
+	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), nil
+}

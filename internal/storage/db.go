@@ -1,0 +1,50 @@
+package storage
+
+import (
+	"fmt"
+
+	"enrichdb/internal/catalog"
+)
+
+// DB groups the catalog and the stored tables of one database instance.
+type DB struct {
+	cat    *catalog.Catalog
+	tables map[string]*Table
+}
+
+// NewDB returns an empty database with an empty catalog.
+func NewDB() *DB {
+	return &DB{cat: catalog.New(), tables: make(map[string]*Table)}
+}
+
+// Catalog returns the database's catalog.
+func (d *DB) Catalog() *catalog.Catalog { return d.cat }
+
+// CreateTable registers the schema and allocates its table.
+func (d *DB) CreateTable(s *catalog.Schema) (*Table, error) {
+	if err := d.cat.Add(s); err != nil {
+		return nil, err
+	}
+	t := NewTable(s)
+	d.tables[s.Name] = t
+	return t, nil
+}
+
+// Table returns the named table, or an error for unknown relations.
+func (d *DB) Table(name string) (*Table, error) {
+	t, ok := d.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %s", name)
+	}
+	return t, nil
+}
+
+// MustTable is Table that panics; for callers that already validated names
+// against the catalog.
+func (d *DB) MustTable(name string) *Table {
+	t, err := d.Table(name)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"enrichdb/internal/catalog"
+	"enrichdb/internal/types"
+)
+
+// TestTableModelProperty runs random operation sequences against the table
+// and a simple map-based oracle, checking that contents, scan order, length
+// and index lookups always agree.
+func TestTableModelProperty(t *testing.T) {
+	schema := catalog.MustSchema("R", []catalog.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "a", Kind: types.KindInt},
+	})
+
+	for trial := 0; trial < 20; trial++ {
+		r := rand.New(rand.NewSource(int64(trial)))
+		tbl := NewTable(schema)
+		if err := tbl.CreateIndex("a"); err != nil {
+			t.Fatal(err)
+		}
+
+		type mrow struct {
+			id, a int64
+		}
+		model := make(map[int64]int64) // id -> a
+		var order []int64
+
+		for step := 0; step < 300; step++ {
+			switch r.Intn(4) {
+			case 0: // insert
+				id := int64(r.Intn(100) + 1)
+				a := int64(r.Intn(10))
+				_, err := tbl.Insert(&types.Tuple{ID: id, Vals: []types.Value{
+					types.NewInt(id), types.NewInt(a),
+				}})
+				if _, exists := model[id]; exists {
+					if err == nil {
+						t.Fatalf("trial %d step %d: duplicate insert succeeded", trial, step)
+					}
+				} else if err != nil {
+					t.Fatalf("trial %d step %d: insert failed: %v", trial, step, err)
+				} else {
+					model[id] = a
+					order = append(order, id)
+				}
+			case 1: // update
+				id := int64(r.Intn(100) + 1)
+				a := int64(r.Intn(10))
+				_, err := tbl.Update(id, "a", types.NewInt(a))
+				if _, exists := model[id]; exists {
+					if err != nil {
+						t.Fatalf("trial %d step %d: update failed: %v", trial, step, err)
+					}
+					model[id] = a
+				} else if err == nil {
+					t.Fatalf("trial %d step %d: update of missing tuple succeeded", trial, step)
+				}
+			case 2: // delete
+				id := int64(r.Intn(100) + 1)
+				got := tbl.Delete(id)
+				if _, exists := model[id]; exists {
+					if got == nil {
+						t.Fatalf("trial %d step %d: delete of existing tuple returned nil", trial, step)
+					}
+					delete(model, id)
+					for i, oid := range order {
+						if oid == id {
+							order = append(order[:i], order[i+1:]...)
+							break
+						}
+					}
+				} else if got != nil {
+					t.Fatalf("trial %d step %d: delete of missing tuple returned a tuple", trial, step)
+				}
+			case 3: // index lookup
+				a := int64(r.Intn(10))
+				ids, ok := tbl.LookupIndex("a", types.NewInt(a))
+				if !ok {
+					t.Fatalf("trial %d: index vanished", trial)
+				}
+				want := 0
+				for _, ma := range model {
+					if ma == a {
+						want++
+					}
+				}
+				if len(ids) != want {
+					t.Fatalf("trial %d step %d: index a=%d has %d ids, model %d",
+						trial, step, a, len(ids), want)
+				}
+				for _, id := range ids {
+					if model[id] != a {
+						t.Fatalf("trial %d step %d: index returned id %d with a=%d",
+							trial, step, id, model[id])
+					}
+				}
+			}
+
+			if tbl.Len() != len(model) {
+				t.Fatalf("trial %d step %d: Len %d vs model %d", trial, step, tbl.Len(), len(model))
+			}
+		}
+
+		// Final full comparison including scan order.
+		var scanned []mrow
+		tbl.Scan(func(tu *types.Tuple) bool {
+			scanned = append(scanned, mrow{tu.ID, tu.Vals[1].Int()})
+			return true
+		})
+		if len(scanned) != len(order) {
+			t.Fatalf("trial %d: scanned %d, model %d", trial, len(scanned), len(order))
+		}
+		for i, row := range scanned {
+			if row.id != order[i] {
+				t.Fatalf("trial %d: scan order[%d] = %d want %d", trial, i, row.id, order[i])
+			}
+			if row.a != model[row.id] {
+				t.Fatalf("trial %d: tuple %d a=%d want %d", trial, row.id, row.a, model[row.id])
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package storage implements the in-memory table store backing the engine.
+// Tables hold tuples keyed by id, maintain optional hash indexes on fixed
+// attributes, and support in-place updates of derived attributes — the write
+// path enrichment uses when a function's output is determinized into a value.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"enrichdb/internal/catalog"
+	"enrichdb/internal/types"
+)
+
+// Table is one stored relation. It is safe for concurrent readers with
+// exclusive writers; the coarse RWMutex is sufficient at the engine's epoch
+// granularity (all enrichment writes of an epoch are applied in one batch).
+type Table struct {
+	schema *catalog.Schema
+
+	mu     sync.RWMutex
+	rows   map[int64]*types.Tuple
+	order  []int64 // insertion order, for deterministic scans
+	nextID int64
+
+	indexes map[string]*hashIndex // fixed-column name -> index
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(s *catalog.Schema) *Table {
+	return &Table{
+		schema:  s,
+		rows:    make(map[int64]*types.Tuple),
+		indexes: make(map[string]*hashIndex),
+		nextID:  1,
+	}
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() *catalog.Schema { return t.schema }
+
+// Len returns the number of stored tuples.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.order)
+}
+
+// Insert stores a tuple. A zero ID is auto-assigned; explicit ids must be
+// unique. The value slice length must match the schema.
+func (t *Table) Insert(tu *types.Tuple) (int64, error) {
+	if len(tu.Vals) != len(t.schema.Cols) {
+		return 0, fmt.Errorf("storage: %s: tuple has %d values, schema has %d columns",
+			t.schema.Name, len(tu.Vals), len(t.schema.Cols))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tu.ID == 0 {
+		tu.ID = t.nextID
+	}
+	if tu.ID >= t.nextID {
+		t.nextID = tu.ID + 1
+	}
+	if _, dup := t.rows[tu.ID]; dup {
+		return 0, fmt.Errorf("storage: %s: duplicate tuple id %d", t.schema.Name, tu.ID)
+	}
+	t.rows[tu.ID] = tu
+	t.order = append(t.order, tu.ID)
+	for col, idx := range t.indexes {
+		ci := t.schema.ColIndex(col)
+		idx.add(tu.Vals[ci].Key(), tu.ID)
+	}
+	return tu.ID, nil
+}
+
+// Get returns the tuple with the given id, or nil. The returned tuple is the
+// stored one; callers must not mutate it directly (use Update).
+func (t *Table) Get(id int64) *types.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[id]
+}
+
+// Update replaces the value of one column of one tuple, returning the old
+// value. Updating an indexed column keeps the index consistent.
+func (t *Table) Update(id int64, col string, v types.Value) (types.Value, error) {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return types.Null, fmt.Errorf("storage: %s: unknown column %s", t.schema.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tu := t.rows[id]
+	if tu == nil {
+		return types.Null, fmt.Errorf("storage: %s: no tuple %d", t.schema.Name, id)
+	}
+	old := tu.Vals[ci]
+	if idx, ok := t.indexes[col]; ok {
+		idx.remove(old.Key(), id)
+		idx.add(v.Key(), id)
+	}
+	tu.Vals[ci] = v
+	return old, nil
+}
+
+// Delete removes a tuple, returning it (or nil if absent).
+func (t *Table) Delete(id int64) *types.Tuple {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tu := t.rows[id]
+	if tu == nil {
+		return nil
+	}
+	delete(t.rows, id)
+	for i, oid := range t.order {
+		if oid == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	for col, idx := range t.indexes {
+		ci := t.schema.ColIndex(col)
+		idx.remove(tu.Vals[ci].Key(), id)
+	}
+	return tu
+}
+
+// Scan calls fn for every tuple in insertion order, stopping early if fn
+// returns false. The table lock is held across the scan; fn must not call
+// back into mutating methods.
+func (t *Table) Scan(fn func(*types.Tuple) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, id := range t.order {
+		if !fn(t.rows[id]) {
+			return
+		}
+	}
+}
+
+// IDs returns all tuple ids in insertion order.
+func (t *Table) IDs() []int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]int64, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// CreateIndex builds a hash index on a column. Indexing derived columns is
+// rejected: their values change during query processing, and the engine
+// always routes derived predicates through full evaluation.
+func (t *Table) CreateIndex(col string) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("storage: %s: unknown column %s", t.schema.Name, col)
+	}
+	if t.schema.Cols[ci].Derived {
+		return fmt.Errorf("storage: %s: cannot index derived column %s", t.schema.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.indexes[col]; dup {
+		return nil
+	}
+	idx := newHashIndex()
+	for _, id := range t.order {
+		idx.add(t.rows[id].Vals[ci].Key(), id)
+	}
+	t.indexes[col] = idx
+	return nil
+}
+
+// HasIndex reports whether the column has a hash index.
+func (t *Table) HasIndex(col string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.indexes[col]
+	return ok
+}
+
+// LookupIndex returns the tuple ids whose indexed column equals the value,
+// and whether an index on the column exists.
+func (t *Table) LookupIndex(col string, v types.Value) ([]int64, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	return idx.lookup(v.Key()), true
+}
+
+// hashIndex is an equality index from value key to tuple ids.
+type hashIndex struct {
+	m map[string][]int64
+}
+
+func newHashIndex() *hashIndex { return &hashIndex{m: make(map[string][]int64)} }
+
+func (h *hashIndex) add(key string, id int64) { h.m[key] = append(h.m[key], id) }
+
+func (h *hashIndex) remove(key string, id int64) {
+	ids := h.m[key]
+	for i, x := range ids {
+		if x == id {
+			h.m[key] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(h.m[key]) == 0 {
+		delete(h.m, key)
+	}
+}
+
+func (h *hashIndex) lookup(key string) []int64 { return h.m[key] }

@@ -1,0 +1,216 @@
+package storage
+
+import (
+	"testing"
+
+	"enrichdb/internal/catalog"
+	"enrichdb/internal/types"
+)
+
+func testTable(t *testing.T) *Table {
+	t.Helper()
+	s := catalog.MustSchema("R", []catalog.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "a", Kind: types.KindInt},
+		{Name: "f", Kind: types.KindVector},
+		{Name: "d", Kind: types.KindInt, Derived: true, FeatureCol: "f", Domain: 3},
+	})
+	return NewTable(s)
+}
+
+func mkTuple(id, a int64) *types.Tuple {
+	return &types.Tuple{ID: id, Vals: []types.Value{
+		types.NewInt(id), types.NewInt(a), types.NewVector([]float64{1}), types.Null,
+	}}
+}
+
+func TestInsertGetScan(t *testing.T) {
+	tb := testTable(t)
+	for i := int64(1); i <= 5; i++ {
+		if _, err := tb.Insert(mkTuple(i, i*10)); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if tb.Len() != 5 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	if got := tb.Get(3); got == nil || got.Vals[1].Int() != 30 {
+		t.Errorf("Get(3) = %v", got)
+	}
+	if tb.Get(99) != nil {
+		t.Error("Get(99) should be nil")
+	}
+	var ids []int64
+	tb.Scan(func(tu *types.Tuple) bool {
+		ids = append(ids, tu.ID)
+		return true
+	})
+	for i, id := range ids {
+		if id != int64(i+1) {
+			t.Errorf("scan order: %v", ids)
+			break
+		}
+	}
+	// Early stop.
+	n := 0
+	tb.Scan(func(*types.Tuple) bool { n++; return n < 2 })
+	if n != 2 {
+		t.Errorf("early stop scanned %d", n)
+	}
+}
+
+func TestAutoID(t *testing.T) {
+	tb := testTable(t)
+	id1, err := tb.Insert(&types.Tuple{Vals: mkTuple(0, 1).Vals})
+	if err != nil || id1 != 1 {
+		t.Fatalf("auto id: %d, %v", id1, err)
+	}
+	if _, err := tb.Insert(mkTuple(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+	id3, _ := tb.Insert(&types.Tuple{Vals: mkTuple(0, 3).Vals})
+	if id3 != 11 {
+		t.Errorf("auto id after explicit 10: %d", id3)
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tb := testTable(t)
+	if _, err := tb.Insert(&types.Tuple{ID: 1, Vals: []types.Value{types.NewInt(1)}}); err == nil {
+		t.Error("arity mismatch must fail")
+	}
+	if _, err := tb.Insert(mkTuple(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Insert(mkTuple(1, 2)); err == nil {
+		t.Error("duplicate id must fail")
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	tb := testTable(t)
+	tb.Insert(mkTuple(1, 10))
+	old, err := tb.Update(1, "d", types.NewInt(2))
+	if err != nil || !old.IsNull() {
+		t.Fatalf("Update: old=%v err=%v", old, err)
+	}
+	if got := tb.Get(1).Vals[3]; got.Int() != 2 {
+		t.Errorf("after update: %v", got)
+	}
+	if _, err := tb.Update(1, "zz", types.NewInt(0)); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if _, err := tb.Update(99, "d", types.NewInt(0)); err == nil {
+		t.Error("unknown tuple must fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tb := testTable(t)
+	tb.Insert(mkTuple(1, 10))
+	tb.Insert(mkTuple(2, 20))
+	got := tb.Delete(1)
+	if got == nil || got.ID != 1 || tb.Len() != 1 {
+		t.Errorf("Delete: %v len=%d", got, tb.Len())
+	}
+	if tb.Delete(1) != nil {
+		t.Error("second delete should return nil")
+	}
+	var ids []int64
+	tb.Scan(func(tu *types.Tuple) bool { ids = append(ids, tu.ID); return true })
+	if len(ids) != 1 || ids[0] != 2 {
+		t.Errorf("after delete: %v", ids)
+	}
+}
+
+func TestHashIndex(t *testing.T) {
+	tb := testTable(t)
+	for i := int64(1); i <= 10; i++ {
+		tb.Insert(mkTuple(i, i%3))
+	}
+	if err := tb.CreateIndex("a"); err != nil {
+		t.Fatalf("CreateIndex: %v", err)
+	}
+	ids, ok := tb.LookupIndex("a", types.NewInt(1))
+	if !ok || len(ids) != 4 { // 1,4,7,10
+		t.Errorf("lookup a=1: %v %v", ids, ok)
+	}
+	if _, ok := tb.LookupIndex("f", types.NewVector(nil)); ok {
+		t.Error("lookup on unindexed column must report no index")
+	}
+	// Index stays consistent across updates and deletes.
+	tb.Update(1, "a", types.NewInt(2))
+	ids, _ = tb.LookupIndex("a", types.NewInt(1))
+	if len(ids) != 3 {
+		t.Errorf("after update: %v", ids)
+	}
+	ids, _ = tb.LookupIndex("a", types.NewInt(2))
+	if len(ids) != 4 { // 2,5,8 + moved 1
+		t.Errorf("a=2 after update: %v", ids)
+	}
+	tb.Delete(2)
+	ids, _ = tb.LookupIndex("a", types.NewInt(2))
+	if len(ids) != 3 {
+		t.Errorf("after delete: %v", ids)
+	}
+	// Inserts after index creation are indexed too.
+	tb.Insert(mkTuple(100, 1))
+	ids, _ = tb.LookupIndex("a", types.NewInt(1))
+	if len(ids) != 4 {
+		t.Errorf("after insert: %v", ids)
+	}
+}
+
+func TestIndexErrors(t *testing.T) {
+	tb := testTable(t)
+	if err := tb.CreateIndex("zz"); err == nil {
+		t.Error("unknown column must fail")
+	}
+	if err := tb.CreateIndex("d"); err == nil {
+		t.Error("derived column must be rejected")
+	}
+	if err := tb.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.CreateIndex("a"); err != nil {
+		t.Error("re-creating an index must be a no-op, not an error")
+	}
+}
+
+func TestDB(t *testing.T) {
+	db := NewDB()
+	s := catalog.MustSchema("R", []catalog.Column{{Name: "id", Kind: types.KindInt}})
+	tb, err := db.CreateTable(s)
+	if err != nil || tb == nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	if _, err := db.CreateTable(s); err == nil {
+		t.Error("duplicate CreateTable must fail")
+	}
+	got, err := db.Table("R")
+	if err != nil || got != tb {
+		t.Errorf("Table: %v %v", got, err)
+	}
+	if _, err := db.Table("nope"); err == nil {
+		t.Error("unknown table must fail")
+	}
+	if db.Catalog().Schema("R") != s {
+		t.Error("catalog must hold the schema")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTable must panic on unknown relation")
+		}
+	}()
+	db.MustTable("nope")
+}
+
+func TestIDs(t *testing.T) {
+	tb := testTable(t)
+	tb.Insert(mkTuple(5, 1))
+	tb.Insert(mkTuple(2, 1))
+	ids := tb.IDs()
+	if len(ids) != 2 || ids[0] != 5 || ids[1] != 2 {
+		t.Errorf("IDs = %v (insertion order expected)", ids)
+	}
+}

@@ -1,0 +1,108 @@
+package tight
+
+import (
+	"time"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/expr"
+	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/storage"
+)
+
+// Result is the outcome of a tight, non-progressive query execution.
+type Result struct {
+	Rows []*expr.Row
+	// Enrichments counts the enrichment function executions the rewritten
+	// query triggered through read_udf (Table 7).
+	Enrichments int64
+	// UDFInvocations counts every CheckState/GetValue/read_udf call — the
+	// per-row invocation overhead the loose design's batching avoids.
+	UDFInvocations int64
+	// DBMS is the wall-clock execution time (everything runs in the DBMS).
+	DBMS  time.Duration
+	Stats engine.Stats
+}
+
+// Driver executes queries with the non-progressive tight design of §2.2: the
+// query is rewritten with UDF-wrapped derived conditions and run directly;
+// enrichment happens lazily inside predicate evaluation.
+type Driver struct {
+	DB  *storage.DB
+	Mgr *enrich.Manager
+	// InvokeOverhead is forwarded to the runtime (per-UDF-call cost).
+	InvokeOverhead time.Duration
+	// BuildOptions forwards optimizer toggles (ablation experiments).
+	BuildOptions engine.BuildOptions
+}
+
+// NewDriver builds a tight driver.
+func NewDriver(db *storage.DB, mgr *enrich.Manager) *Driver {
+	return &Driver{DB: db, Mgr: mgr}
+}
+
+// Execute runs one query end to end.
+func (d *Driver) Execute(query string) (*Result, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := engine.Analyze(stmt, d.DB.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	return d.ExecuteAnalyzed(a)
+}
+
+// ExecuteAnalyzed runs an already-analyzed query.
+func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
+	before := d.Mgr.Counters().Enrichments
+
+	rewritten, err := RewriteAnalysis(a)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.BuildOpt(rewritten, d.DB, d.BuildOptions)
+	if err != nil {
+		return nil, err
+	}
+	rt := NewRuntime(d.DB, d.Mgr)
+	rt.InvokeOverhead = d.InvokeOverhead
+	ctx := engine.NewExecCtx()
+	ctx.Eval.Runtime = rt
+
+	t0 := time.Now()
+	rows, err := plan.Execute(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:           rows,
+		Enrichments:    d.Mgr.Counters().Enrichments - before,
+		UDFInvocations: ctx.Eval.UDFInvocations,
+		DBMS:           time.Since(t0),
+		Stats:          *ctx.Stats,
+	}, nil
+}
+
+// Explain returns the rewritten query's plan tree (used by tests and the
+// CLI to show the forced nested-loop joins).
+func (d *Driver) Explain(query string) (string, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return "", err
+	}
+	a, err := engine.Analyze(stmt, d.DB.Catalog())
+	if err != nil {
+		return "", err
+	}
+	rewritten, err := RewriteAnalysis(a)
+	if err != nil {
+		return "", err
+	}
+	plan, err := engine.Build(rewritten, d.DB)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(""), nil
+}

@@ -1,0 +1,32 @@
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tuple is a stored row of a base relation. ID is the paper's mandatory id
+// attribute: every relation carries one so that enrichment state can be keyed
+// per tuple.
+type Tuple struct {
+	ID   int64
+	Vals []Value
+}
+
+// Clone returns a deep-enough copy of the tuple: the value slice is copied so
+// the clone can be mutated independently. Vector payloads are shared (they
+// are immutable by convention).
+func (t *Tuple) Clone() *Tuple {
+	vals := make([]Value, len(t.Vals))
+	copy(vals, t.Vals)
+	return &Tuple{ID: t.ID, Vals: vals}
+}
+
+// String renders the tuple for debugging.
+func (t *Tuple) String() string {
+	parts := make([]string, len(t.Vals))
+	for i, v := range t.Vals {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("#%d(%s)", t.ID, strings.Join(parts, ", "))
+}

@@ -1,0 +1,257 @@
+// Package types defines the value model shared by every layer of enrichdb.
+//
+// Values follow the extended relational model of the paper: a relation mixes
+// fixed attributes (ordinary SQL values) with derived attributes whose value
+// may be NULL until an enrichment function has produced it. A Value is a small
+// tagged union so tuples can be stored and compared without boxing every cell
+// in an interface.
+package types
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the dynamic type of a Value.
+type Kind uint8
+
+// The supported value kinds. KindVector holds feature vectors used as the
+// input of enrichment functions (e.g. tweet embeddings, image features).
+const (
+	KindNull Kind = iota
+	KindInt
+	KindFloat
+	KindString
+	KindBool
+	KindVector
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "TEXT"
+	case KindBool:
+		return "BOOL"
+	case KindVector:
+		return "VECTOR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a tagged union over the kinds above. The zero Value is NULL.
+type Value struct {
+	kind Kind
+	i    int64
+	f    float64
+	s    string
+	vec  []float64
+}
+
+// Null is the NULL value (also the zero Value).
+var Null = Value{}
+
+// NewInt returns an integer value.
+func NewInt(v int64) Value { return Value{kind: KindInt, i: v} }
+
+// NewFloat returns a floating-point value.
+func NewFloat(v float64) Value { return Value{kind: KindFloat, f: v} }
+
+// NewString returns a string value.
+func NewString(v string) Value { return Value{kind: KindString, s: v} }
+
+// NewBool returns a boolean value.
+func NewBool(v bool) Value {
+	var i int64
+	if v {
+		i = 1
+	}
+	return Value{kind: KindBool, i: i}
+}
+
+// NewVector returns a feature-vector value. The slice is not copied; callers
+// that mutate the input after construction must copy it themselves.
+func NewVector(v []float64) Value { return Value{kind: KindVector, vec: v} }
+
+// Kind reports the dynamic kind of the value.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Int returns the integer payload. It panics if the value is not an INT or
+// BOOL; use Kind first when the kind is not statically known.
+func (v Value) Int() int64 {
+	if v.kind != KindInt && v.kind != KindBool {
+		panic(fmt.Sprintf("types: Int() on %s value", v.kind))
+	}
+	return v.i
+}
+
+// Float returns the numeric payload widened to float64. Valid for INT, FLOAT
+// and BOOL values.
+func (v Value) Float() float64 {
+	switch v.kind {
+	case KindFloat:
+		return v.f
+	case KindInt, KindBool:
+		return float64(v.i)
+	default:
+		panic(fmt.Sprintf("types: Float() on %s value", v.kind))
+	}
+}
+
+// Str returns the string payload. It panics for non-string values.
+func (v Value) Str() string {
+	if v.kind != KindString {
+		panic(fmt.Sprintf("types: Str() on %s value", v.kind))
+	}
+	return v.s
+}
+
+// Bool returns the boolean payload. It panics for non-bool values.
+func (v Value) Bool() bool {
+	if v.kind != KindBool {
+		panic(fmt.Sprintf("types: Bool() on %s value", v.kind))
+	}
+	return v.i != 0
+}
+
+// Vector returns the feature-vector payload. It panics for non-vector values.
+func (v Value) Vector() []float64 {
+	if v.kind != KindVector {
+		panic(fmt.Sprintf("types: Vector() on %s value", v.kind))
+	}
+	return v.vec
+}
+
+// numeric reports whether the value participates in numeric comparison.
+func (v Value) numeric() bool {
+	return v.kind == KindInt || v.kind == KindFloat || v.kind == KindBool
+}
+
+// Compare orders two values. It returns a negative, zero or positive integer
+// following the usual contract, and false when the values are incomparable
+// (either side NULL, incompatible kinds, or vectors). NULL comparisons being
+// "unknown" rather than an ordering mirrors SQL three-valued logic.
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindNull || o.kind == KindNull {
+		return 0, false
+	}
+	if v.numeric() && o.numeric() {
+		// Compare in int64 space when both sides are integral to avoid
+		// float64 rounding on large ids.
+		if v.kind != KindFloat && o.kind != KindFloat {
+			a, b := v.i, o.i
+			switch {
+			case a < b:
+				return -1, true
+			case a > b:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+		a, b := v.Float(), o.Float()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		default:
+			return 0, true
+		}
+	}
+	if v.kind == KindString && o.kind == KindString {
+		return strings.Compare(v.s, o.s), true
+	}
+	return 0, false
+}
+
+// Equal reports whether two values are equal and comparable. NULL never
+// equals anything, including NULL (SQL semantics); use IsNull for NULL tests.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindVector && o.kind == KindVector {
+		if len(v.vec) != len(o.vec) {
+			return false
+		}
+		for i := range v.vec {
+			if v.vec[i] != o.vec[i] {
+				return false
+			}
+		}
+		return true
+	}
+	c, ok := v.Compare(o)
+	return ok && c == 0
+}
+
+// Key returns a string usable as a hash-join or group-by key. It is
+// injective per kind and differentiates kinds, so INT 1 and STRING "1" get
+// distinct keys. NULL values share the single key "∅" (group-by treats NULLs
+// as one group, as SQL does).
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "∅"
+	case KindInt:
+		return "i" + strconv.FormatInt(v.i, 10)
+	case KindBool:
+		return "b" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		// Normalize -0 so it hashes with +0, matching Compare.
+		f := v.f
+		if f == 0 {
+			f = 0
+		}
+		return "f" + strconv.FormatUint(math.Float64bits(f), 16)
+	case KindString:
+		return "s" + v.s
+	case KindVector:
+		var sb strings.Builder
+		sb.WriteByte('v')
+		for _, f := range v.vec {
+			sb.WriteString(strconv.FormatUint(math.Float64bits(f), 16))
+			sb.WriteByte(',')
+		}
+		return sb.String()
+	default:
+		return "?"
+	}
+}
+
+// String renders the value for display and plan dumps.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return "NULL"
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindBool:
+		if v.i != 0 {
+			return "true"
+		}
+		return "false"
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindString:
+		return "'" + v.s + "'"
+	case KindVector:
+		parts := make([]string, 0, len(v.vec))
+		for _, f := range v.vec {
+			parts = append(parts, strconv.FormatFloat(f, 'g', 4, 64))
+		}
+		return "[" + strings.Join(parts, ",") + "]"
+	default:
+		return "?"
+	}
+}

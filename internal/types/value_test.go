@@ -1,0 +1,173 @@
+package types
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNullSemantics(t *testing.T) {
+	if !Null.IsNull() {
+		t.Fatal("Null must report IsNull")
+	}
+	var zero Value
+	if !zero.IsNull() {
+		t.Fatal("zero Value must be NULL")
+	}
+	if _, ok := Null.Compare(NewInt(1)); ok {
+		t.Error("NULL must be incomparable to 1")
+	}
+	if _, ok := NewInt(1).Compare(Null); ok {
+		t.Error("1 must be incomparable to NULL")
+	}
+	if Null.Equal(Null) {
+		t.Error("NULL = NULL must be false (SQL semantics)")
+	}
+}
+
+func TestCompareInts(t *testing.T) {
+	cases := []struct {
+		a, b int64
+		want int
+	}{{1, 2, -1}, {2, 1, 1}, {5, 5, 0}, {-3, 3, -1}}
+	for _, c := range cases {
+		got, ok := NewInt(c.a).Compare(NewInt(c.b))
+		if !ok || got != c.want {
+			t.Errorf("Compare(%d,%d) = %d,%v want %d,true", c.a, c.b, got, ok, c.want)
+		}
+	}
+}
+
+func TestCompareMixedNumeric(t *testing.T) {
+	got, ok := NewInt(2).Compare(NewFloat(2.5))
+	if !ok || got != -1 {
+		t.Errorf("2 vs 2.5 = %d,%v want -1,true", got, ok)
+	}
+	got, ok = NewFloat(3.0).Compare(NewInt(3))
+	if !ok || got != 0 {
+		t.Errorf("3.0 vs 3 = %d,%v want 0,true", got, ok)
+	}
+	// Large int64 ids must not lose precision through float64.
+	a, b := int64(1<<62), int64(1<<62)+1
+	got, ok = NewInt(a).Compare(NewInt(b))
+	if !ok || got != -1 {
+		t.Errorf("large int compare = %d,%v want -1,true", got, ok)
+	}
+}
+
+func TestCompareStrings(t *testing.T) {
+	got, ok := NewString("apple").Compare(NewString("banana"))
+	if !ok || got >= 0 {
+		t.Errorf("apple vs banana = %d,%v", got, ok)
+	}
+	if _, ok := NewString("1").Compare(NewInt(1)); ok {
+		t.Error("string and int must be incomparable")
+	}
+}
+
+func TestKeyDistinguishesKinds(t *testing.T) {
+	if NewInt(1).Key() == NewString("1").Key() {
+		t.Error("INT 1 and TEXT '1' must have distinct keys")
+	}
+	if NewInt(1).Key() == NewBool(true).Key() {
+		t.Error("INT 1 and TRUE must have distinct keys")
+	}
+	if NewFloat(0).Key() != NewFloat(-0.0).Key() {
+		t.Error("+0 and -0 must share a key (they compare equal)")
+	}
+}
+
+func TestVectorEqual(t *testing.T) {
+	a := NewVector([]float64{1, 2, 3})
+	b := NewVector([]float64{1, 2, 3})
+	c := NewVector([]float64{1, 2})
+	if !a.Equal(b) {
+		t.Error("identical vectors must be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different-length vectors must not be Equal")
+	}
+	if a.Key() != b.Key() {
+		t.Error("equal vectors must share a key")
+	}
+}
+
+func TestAccessorPanics(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s must panic on wrong kind", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Int", func() { NewString("x").Int() })
+	mustPanic("Str", func() { NewInt(1).Str() })
+	mustPanic("Float", func() { NewString("x").Float() })
+	mustPanic("Bool", func() { NewInt(1).Bool() })
+	mustPanic("Vector", func() { NewInt(1).Vector() })
+}
+
+func TestBoolAsNumeric(t *testing.T) {
+	if NewBool(true).Float() != 1 || NewBool(false).Float() != 0 {
+		t.Error("bools must widen to 1/0")
+	}
+}
+
+// Property: Compare is antisymmetric and Key agrees with equality for ints.
+func TestCompareKeyConsistencyQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		ab, ok1 := va.Compare(vb)
+		ba, ok2 := vb.Compare(va)
+		if !ok1 || !ok2 || ab != -ba {
+			return false
+		}
+		return (ab == 0) == (va.Key() == vb.Key())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Compare on floats is a total order consistent with < (ignoring
+// NaN, which the generator never produces here).
+func TestFloatCompareQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		a, b := r.NormFloat64()*100, r.NormFloat64()*100
+		got, ok := NewFloat(a).Compare(NewFloat(b))
+		if !ok {
+			t.Fatalf("floats must compare: %v vs %v", a, b)
+		}
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		if got != want {
+			t.Fatalf("Compare(%v,%v) = %d want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null, "NULL"},
+		{NewInt(42), "42"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewString("hi"), "'hi'"},
+		{NewFloat(2.5), "2.5"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("String(%v) = %q want %q", c.v.Kind(), got, c.want)
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package enrichdb
+
+import (
+	"fmt"
+	"time"
+
+	"enrichdb/internal/expr"
+	"enrichdb/internal/metrics"
+	"enrichdb/internal/progressive"
+)
+
+// Design selects the architecture for a progressive run.
+type Design int
+
+// The two architectures of the paper.
+const (
+	LooseDesign Design = iota
+	TightDesign
+)
+
+// Strategy is a PlanTable selection strategy (§3.3.2).
+type Strategy int
+
+// The paper's three sampling-based strategies. FunctionOrdered — the
+// paper's SB(FO) — performs best and is the default.
+const (
+	ObjectOrdered   Strategy = iota // SB(OO)
+	RandomOrdered                   // SB(RO)
+	FunctionOrdered                 // SB(FO)
+	// BenefitOrdered extends the paper's strategies: tuples are ranked by
+	// the entropy of their current determinization, so the epoch budget
+	// goes where another function execution is most likely to change the
+	// answer.
+	BenefitOrdered
+)
+
+// ProgressiveOptions parameterizes QueryProgressive. The zero value uses
+// the documented defaults.
+type ProgressiveOptions struct {
+	Design   Design
+	Strategy Strategy
+	// EpochBudget caps each epoch's estimated enrichment cost (default
+	// 25ms). The plan-validity rule of §3.3.2: a plan's cost must fit the
+	// epoch duration.
+	EpochBudget time.Duration
+	// MaxEpochs bounds the run (default 200).
+	MaxEpochs int
+	Seed      int64
+	// Quality, when set, scores the current answer after every epoch (for
+	// example against ground truth); the series feeds ProgressiveScore.
+	Quality func(*Rows) float64
+	// OnEpoch, when set, is called after every epoch with its report.
+	OnEpoch func(Epoch)
+	// OnDelta, when set, is called after every epoch with the answer rows
+	// that appeared and disappeared — the paper's §3.3.4 delta fetching:
+	// consume refinements without re-reading the whole answer.
+	OnDelta func(inserted, deleted *Rows)
+}
+
+// Epoch is one epoch's telemetry.
+type Epoch struct {
+	N           int
+	Planned     int
+	Enrichments int64
+	Quality     float64
+	Inserted    int
+	Deleted     int
+	Wall        time.Duration
+}
+
+// ProgressiveResult is the outcome of a progressive run.
+type ProgressiveResult struct {
+	*Rows
+	Epochs           []Epoch
+	Quality          []float64 // per epoch, starting at e₀
+	TotalEnrichments int64
+	// Overhead is Exp 4's non-enrichment cost breakdown.
+	Overhead ProgressiveOverhead
+
+	schema   *expr.RowSchema
+	inserted [][]*expr.Row // per epoch
+	deleted  [][]*expr.Row
+}
+
+// DeltaSince returns the net answer change between the end of epoch k and
+// the end of the run: rows that appeared and rows that disappeared. Epoch 0
+// means "since setup", so DeltaSince(0) nets to the full final answer. This
+// generalizes the paper's last-epoch delta fetching (§3.3.4 lists
+// arbitrary-epoch cursors as future work).
+func (r *ProgressiveResult) DeltaSince(epoch int) (inserted, deleted *Rows) {
+	type acc struct {
+		row   *expr.Row
+		count int
+	}
+	net := make(map[string]*acc)
+	key := func(row *expr.Row) string {
+		s := ""
+		for _, v := range row.Vals {
+			s += v.Key() + "|"
+		}
+		for _, tid := range row.TIDs {
+			s += fmt.Sprintf("#%d", tid)
+		}
+		return s
+	}
+	for e := epoch; e < len(r.inserted); e++ {
+		for _, row := range r.inserted[e] {
+			k := key(row)
+			if net[k] == nil {
+				net[k] = &acc{row: row}
+			}
+			net[k].count++
+		}
+		for _, row := range r.deleted[e] {
+			k := key(row)
+			if net[k] == nil {
+				net[k] = &acc{row: row}
+			}
+			net[k].count--
+		}
+	}
+	var ins, del []*expr.Row
+	for _, a := range net {
+		for n := a.count; n > 0; n-- {
+			ins = append(ins, a.row)
+		}
+		for n := a.count; n < 0; n++ {
+			del = append(del, a.row)
+		}
+	}
+	if r.schema == nil {
+		return &Rows{}, &Rows{}
+	}
+	return wrapRows(r.schema, ins), wrapRows(r.schema, del)
+}
+
+// ProgressiveOverhead breaks out the non-enrichment costs of a run.
+type ProgressiveOverhead struct {
+	Setup  time.Duration
+	Plan   time.Duration
+	Delta  time.Duration
+	State  time.Duration
+	UDF    time.Duration
+	Enrich time.Duration
+}
+
+// Score computes the progressive score PS (Equation 1) of the run's quality
+// series with the paper's default slope of 0.05.
+func (r *ProgressiveResult) Score() float64 {
+	return metrics.ProgressiveScore(r.Quality, 0.05)
+}
+
+// QueryProgressive executes a query progressively (§3): per epoch, a sample
+// of (tuple, attribute, function) triplets is enriched within the epoch
+// budget and the answer is refined through incremental view maintenance.
+// Results improve monotonically in enrichment coverage; stop reading when
+// satisfied.
+func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*ProgressiveResult, error) {
+	cfg := progressive.Config{
+		Design:         progressive.Design(opts.Design),
+		Query:          query,
+		DB:             db.store,
+		Mgr:            db.mgr,
+		Enricher:       db.enricher,
+		Strategy:       progressive.Strategy(opts.Strategy),
+		EpochBudget:    opts.EpochBudget,
+		MaxEpochs:      opts.MaxEpochs,
+		Seed:           opts.Seed,
+		InvokeOverhead: db.TightInvokeOverhead,
+		CollectDeltas:  true, // backs OnDelta and DeltaSince
+	}
+	a, err := db.analyzeSQL(query) // validate early and get the schema
+	if err != nil {
+		return nil, err
+	}
+	_ = a
+	if opts.Quality != nil {
+		cfg.Quality = func(rows []*expr.Row) float64 {
+			if len(rows) == 0 {
+				return opts.Quality(&Rows{})
+			}
+			return opts.Quality(wrapRows(rows[0].Schema, rows))
+		}
+	}
+	res, err := progressive.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &ProgressiveResult{
+		Quality:          res.Quality,
+		TotalEnrichments: res.TotalEnrichments,
+		Overhead: ProgressiveOverhead{
+			Setup:  res.Overhead.Setup,
+			Plan:   res.Overhead.Plan,
+			Delta:  res.Overhead.Delta,
+			State:  res.Overhead.State,
+			UDF:    res.Overhead.UDF,
+			Enrich: res.Overhead.Enrich,
+		},
+	}
+	for _, ep := range res.Epochs {
+		e := Epoch{
+			N: ep.Epoch, Planned: ep.Planned, Enrichments: ep.Executed,
+			Quality: ep.Quality, Inserted: ep.Inserted, Deleted: ep.Deleted, Wall: ep.Wall,
+		}
+		out.inserted = append(out.inserted, ep.InsertedRows)
+		out.deleted = append(out.deleted, ep.DeletedRows)
+		out.Epochs = append(out.Epochs, e)
+		if opts.OnEpoch != nil {
+			opts.OnEpoch(e)
+		}
+		if opts.OnDelta != nil && res.View != nil {
+			opts.OnDelta(wrapDelta(res.View, ep.InsertedRows), wrapDelta(res.View, ep.DeletedRows))
+		}
+	}
+	if res.View != nil {
+		out.Rows = wrapRows(res.View.Schema(), res.Rows)
+		out.schema = res.View.Schema()
+	} else if len(res.Rows) > 0 {
+		out.Rows = wrapRows(res.Rows[0].Schema, res.Rows)
+	} else {
+		out.Rows = &Rows{}
+	}
+	return out, nil
+}
+
+// wrapDelta wraps delta rows under the view's output schema.
+func wrapDelta(view interface{ Schema() *expr.RowSchema }, rows []*expr.Row) *Rows {
+	if len(rows) == 0 {
+		return &Rows{}
+	}
+	return wrapRows(view.Schema(), rows)
+}

@@ -1,0 +1,172 @@
+package enrichdb
+
+import (
+	"time"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/expr"
+)
+
+// Rows is a materialized query result.
+type Rows struct {
+	cols []string
+	rows []*expr.Row
+}
+
+// Columns returns the result's column names.
+func (r *Rows) Columns() []string { return r.cols }
+
+// Len returns the number of result rows.
+func (r *Rows) Len() int { return len(r.rows) }
+
+// At returns row i's values.
+func (r *Rows) At(i int) []Value { return r.rows[i].Vals }
+
+// TIDs returns the base-tuple ids row i was derived from (empty for
+// aggregation results).
+func (r *Rows) TIDs(i int) []int64 { return r.rows[i].TIDs }
+
+func wrapRows(schema *expr.RowSchema, rows []*expr.Row) *Rows {
+	counts := make(map[string]int, len(schema.Cols))
+	for _, c := range schema.Cols {
+		counts[c.Name]++
+	}
+	cols := make([]string, len(schema.Cols))
+	for i, c := range schema.Cols {
+		// Qualify only ambiguous names (self-joins, shared column names).
+		if counts[c.Name] > 1 && c.Alias != "" {
+			cols[i] = c.Alias + "." + c.Name
+		} else {
+			cols[i] = c.Name
+		}
+	}
+	return &Rows{cols: cols, rows: rows}
+}
+
+// Result is the outcome of a loose or tight query execution.
+type Result struct {
+	*Rows
+	// Enrichments is the number of enrichment function executions the
+	// query caused.
+	Enrichments int64
+	// UDFInvocations counts UDF calls (tight design only).
+	UDFInvocations int64
+	// Timing splits the execution cost.
+	Timing QueryTiming
+}
+
+// QueryTiming is the per-component cost breakdown of one query.
+type QueryTiming struct {
+	Probe   time.Duration // loose: probe-query generation and execution
+	Enrich  time.Duration // enrichment function execution
+	Network time.Duration // loose with a remote server: transfer time
+	DBMS    time.Duration // everything executed inside the DBMS
+}
+
+// Total sums the components.
+func (t QueryTiming) Total() time.Duration {
+	return t.Probe + t.Enrich + t.Network + t.DBMS
+}
+
+// Query executes a query without any enrichment: derived attributes are
+// read as currently determined (NULL when never enriched). Use it to
+// inspect state or re-read previously enriched answers for free.
+func (db *DB) Query(query string) (*Rows, error) {
+	a, err := db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, db.store)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := plan.Execute(engine.NewExecCtx())
+	if err != nil {
+		return nil, err
+	}
+	return wrapRows(plan.Schema(), rows), nil
+}
+
+// QueryLoose executes a query with the loosely coupled design (§2.1): probe
+// queries find the minimal tuple set, the enrichment server enriches it in
+// batch, values are written back, and the query runs.
+func (db *DB) QueryLoose(query string) (*Result, error) {
+	res, err := db.looseDriver().Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, db.store)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:        wrapRows(plan.Schema(), res.Rows),
+		Enrichments: res.Enrichments,
+		Timing: QueryTiming{
+			Probe:   res.Timing.Probe,
+			Enrich:  res.Timing.Enrich,
+			Network: res.Timing.Network,
+			DBMS:    res.Timing.DBMS,
+		},
+	}, nil
+}
+
+// QueryTight executes a query with the tightly coupled design (§2.2): the
+// query is rewritten with UDF-wrapped derived conditions and enrichment
+// happens lazily inside predicate evaluation.
+func (db *DB) QueryTight(query string) (*Result, error) {
+	enrichBefore := db.mgr.Counters().EnrichTime
+	res, err := db.tightDriver().Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, db.store)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:           wrapRows(plan.Schema(), res.Rows),
+		Enrichments:    res.Enrichments,
+		UDFInvocations: res.UDFInvocations,
+		// Everything runs inside the DBMS in the tight design; split the
+		// wall-clock into enrichment-function execution vs the rest so that
+		// Total() reflects the measured wall time without double counting.
+		Timing: splitTightTiming(res.DBMS, db.mgr.Counters().EnrichTime-enrichBefore),
+	}, nil
+}
+
+func splitTightTiming(wall, enrich time.Duration) QueryTiming {
+	rest := wall - enrich
+	if rest < 0 {
+		rest = 0
+	}
+	return QueryTiming{DBMS: rest, Enrich: enrich}
+}
+
+// Explain returns the plain (unrewritten) execution plan for a query:
+// access paths (scan vs index scan), join strategies, ordering.
+func (db *DB) Explain(query string) (string, error) {
+	a, err := db.analyzeSQL(query)
+	if err != nil {
+		return "", err
+	}
+	plan, err := engine.Build(a, db.store)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(""), nil
+}
+
+// ExplainTight returns the rewritten tight-design plan for a query, showing
+// the UDF-wrapped conditions and the join strategies the optimizer chose.
+func (db *DB) ExplainTight(query string) (string, error) {
+	return db.tightDriver().Explain(query)
+}

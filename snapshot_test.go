@@ -1,0 +1,142 @@
+package enrichdb
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	// Source DB: enrich some tuples so there is real state to carry.
+	src, _, _ := buildReviewDB(t)
+	res1, err := src.QueryLoose("SELECT * FROM Reviews WHERE rating = 1 AND day < 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Enrichments == 0 {
+		t.Fatal("setup: nothing enriched")
+	}
+	srcAll, err := src.Query("SELECT * FROM Reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// Destination: identical schema and (deterministically retrained)
+	// models, no data — then load the snapshot.
+	dst, _, _ := reviewDBWith(t, false)
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	// All tuples restored, including already-determined derived values.
+	dstAll, err := dst.Query("SELECT * FROM Reviews")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dstAll.Len() != srcAll.Len() {
+		t.Fatalf("restored %d tuples, want %d", dstAll.Len(), srcAll.Len())
+	}
+	srcEnriched, _ := src.Query("SELECT id FROM Reviews WHERE rating IS NOT NULL")
+	dstEnriched, _ := dst.Query("SELECT id FROM Reviews WHERE rating IS NOT NULL")
+	if srcEnriched.Len() == 0 || dstEnriched.Len() != srcEnriched.Len() {
+		t.Fatalf("enriched values: src %d dst %d", srcEnriched.Len(), dstEnriched.Len())
+	}
+
+	// The restored state prevents re-enrichment: re-running the original
+	// query on the destination must execute zero functions.
+	res2, err := dst.QueryLoose("SELECT * FROM Reviews WHERE rating = 1 AND day < 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Enrichments != 0 {
+		t.Errorf("restored state should prevent re-enrichment; ran %d", res2.Enrichments)
+	}
+	if res2.Len() != res1.Len() {
+		t.Errorf("answers differ after restore: %d vs %d", res2.Len(), res1.Len())
+	}
+
+	// Unenriched attributes still enrich lazily after restore.
+	res3, err := dst.QueryLoose("SELECT * FROM Reviews WHERE rating = 0 AND day >= 15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res3.Enrichments == 0 {
+		t.Error("uncovered tuples should enrich after restore")
+	}
+}
+
+func TestSnapshotCarriesPartialFamilyState(t *testing.T) {
+	// Progressive runs leave partial bitmaps (one of two functions run);
+	// the snapshot must preserve them exactly.
+	src, _, _ := buildReviewDB(t)
+	if _, err := src.QueryProgressive("SELECT * FROM Reviews WHERE rating = 1", ProgressiveOptions{
+		Strategy:  RandomOrdered,
+		MaxEpochs: 2, // stop early: partial state guaranteed
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srcStats := src.Stats()
+	if srcStats.Enrichments == 0 {
+		t.Fatal("setup: nothing enriched")
+	}
+
+	var buf bytes.Buffer
+	if err := src.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst, _, _ := reviewDBWith(t, false)
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	// Finishing the query on the destination must only pay for what the
+	// source had not executed: total = src + dst ≈ a full cold run.
+	cold, _, _ := buildReviewDB(t)
+	coldRes, err := cold.QueryLoose("SELECT * FROM Reviews WHERE rating = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstRes, err := dst.QueryLoose("SELECT * FROM Reviews WHERE rating = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := srcStats.Enrichments + dstRes.Enrichments
+	if total != coldRes.Enrichments {
+		t.Errorf("src %d + dst %d = %d, cold run %d — partial state lost or duplicated",
+			srcStats.Enrichments, dstRes.Enrichments, total, coldRes.Enrichments)
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	db, _, _ := buildReviewDB(t)
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Load into a DB without the relation.
+	empty := Open()
+	if err := empty.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("load without schema must fail")
+	}
+	// Garbage stream.
+	if err := empty.LoadSnapshot(strings.NewReader("not a snapshot")); err == nil {
+		t.Error("garbage stream must fail")
+	}
+	// Load into a non-empty DB.
+	db2, _, _ := buildReviewDB(t)
+	if err := db2.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("load into non-empty table must fail")
+	}
+	// Schema mismatch: same relation name, different columns.
+	other := Open()
+	if err := other.CreateRelation("Reviews", []Column{{Name: "x", Kind: KindInt}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := other.LoadSnapshot(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("schema mismatch must fail")
+	}
+}
