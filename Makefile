@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tidy
+
+# Tier-1 gate: everything a PR must keep green.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Short race pass over the concurrency-heavy packages: the enrichment
+# worker pool, the RPC transport, shared enrichment state, and the chaos
+# tests that hammer all three.
+race:
+	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+tidy:
+	gofmt -l -w .

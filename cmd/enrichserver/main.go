@@ -7,6 +7,11 @@
 // Usage:
 //
 //	enrichserver [-addr 127.0.0.1:7707] [-seed 1] [-tweets N] [-images N]
+//	             [-workers W] [-maxconns N] [-drain 5s]
+//
+// The server shuts down cleanly on SIGINT or SIGTERM (the normal container
+// stop signal): it stops accepting connections, drains in-flight batches up
+// to -drain, then exits.
 package main
 
 import (
@@ -14,9 +19,12 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"enrichdb/internal/bench"
 	"enrichdb/internal/dataset"
+	"enrichdb/internal/loose"
 	"enrichdb/internal/loose/remote"
 )
 
@@ -25,6 +33,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "dataset/model seed (must match the client)")
 	tweets := flag.Int("tweets", 2000, "TweetData size (must match the client)")
 	images := flag.Int("images", 800, "MultiPie size (must match the client)")
+	workers := flag.Int("workers", 0, "parallel enrichment workers (0 sequential, -1 GOMAXPROCS)")
+	maxConns := flag.Int("maxconns", 0, "max concurrent client connections (0 unlimited)")
+	drain := flag.Duration("drain", remote.DefaultDrainTimeout, "shutdown drain timeout for in-flight batches")
 	flag.Parse()
 
 	scale := bench.Small()
@@ -37,15 +48,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, bound, err := remote.Serve(*addr, env.Mgr)
+	enricher := &loose.LocalEnricher{Mgr: env.Mgr, Workers: *workers}
+	srv, bound, err := remote.ServeEnricher(*addr, enricher, remote.ServerOptions{
+		MaxConns:     *maxConns,
+		DrainTimeout: *drain,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer srv.Close()
 	log.Printf("enrichment server listening on %s", bound)
 
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	log.Println("shutting down")
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	log.Printf("received %v; draining (up to %v) and shutting down", s, *drain)
+	t0 := time.Now()
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	log.Printf("shut down in %v", time.Since(t0).Round(time.Millisecond))
 }

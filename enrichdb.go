@@ -278,11 +278,30 @@ func (db *DB) SetStateCutoff(threshold float64) {
 	db.mgr.SetCutoff(threshold)
 }
 
+// EnrichmentServerConfig tunes ServeEnrichmentConfig. The zero value means
+// unlimited connections and the default shutdown drain.
+type EnrichmentServerConfig struct {
+	// MaxConns caps concurrent client connections (0 = unlimited).
+	MaxConns int
+	// DrainTimeout bounds how long Close waits for in-flight batches.
+	DrainTimeout time.Duration
+	// Workers sets the server's parallel enrichment width (0 or 1
+	// sequential, negative = GOMAXPROCS).
+	Workers int
+}
+
 // ServeEnrichment starts an enrichment server for the loose design on addr
 // (use "127.0.0.1:0" for an ephemeral port) and returns its address. The
 // server executes this database's registered function families.
 func (db *DB) ServeEnrichment(addr string) (string, error) {
-	srv, bound, err := remote.Serve(addr, db.mgr)
+	return db.ServeEnrichmentConfig(addr, EnrichmentServerConfig{})
+}
+
+// ServeEnrichmentConfig is ServeEnrichment with explicit robustness knobs.
+func (db *DB) ServeEnrichmentConfig(addr string, cfg EnrichmentServerConfig) (string, error) {
+	srv, bound, err := remote.ServeEnricher(addr,
+		&loose.LocalEnricher{Mgr: db.mgr, Workers: cfg.Workers},
+		remote.ServerOptions{MaxConns: cfg.MaxConns, DrainTimeout: cfg.DrainTimeout})
 	if err != nil {
 		return "", err
 	}
@@ -290,15 +309,42 @@ func (db *DB) ServeEnrichment(addr string) (string, error) {
 	return bound, nil
 }
 
+// EnrichmentClientConfig tunes ConnectEnrichmentServerConfig. The zero value
+// applies the production defaults: a 30s per-call deadline, 2 retries with
+// exponential backoff + jitter, and automatic re-dial after broken
+// connections. Negative values disable the corresponding mechanism.
+type EnrichmentClientConfig struct {
+	// CallTimeout bounds each enrichment RPC (0 = default, negative = none).
+	CallTimeout time.Duration
+	// MaxRetries is the number of extra attempts after a transport failure
+	// (0 = default, negative = none).
+	MaxRetries int
+	// ExtraLatency, if positive, is added per batch to emulate a longer
+	// link (it is accounted as network time).
+	ExtraLatency time.Duration
+}
+
 // ConnectEnrichmentServer points the loose design at a remote enrichment
-// server instead of the default in-process one. extraLatency, if positive,
-// is added per batch to emulate a longer link.
+// server instead of the default in-process one, with default fault
+// tolerance. extraLatency, if positive, is added per batch to emulate a
+// longer link.
 func (db *DB) ConnectEnrichmentServer(addr string, extraLatency time.Duration) error {
-	client, err := remote.Dial(addr)
+	return db.ConnectEnrichmentServerConfig(addr, EnrichmentClientConfig{ExtraLatency: extraLatency})
+}
+
+// ConnectEnrichmentServerConfig is ConnectEnrichmentServer with explicit
+// fault-tolerance knobs. If the server fails mid-query, the loose design
+// degrades: failed enrichments leave their derived attributes NULL and are
+// counted in Result.FailedEnrichments; re-running the query retries them.
+func (db *DB) ConnectEnrichmentServerConfig(addr string, cfg EnrichmentClientConfig) error {
+	client, err := remote.DialOptions(addr, remote.Options{
+		CallTimeout: cfg.CallTimeout,
+		MaxRetries:  cfg.MaxRetries,
+	})
 	if err != nil {
 		return err
 	}
-	client.ExtraLatency = extraLatency
+	client.ExtraLatency = cfg.ExtraLatency
 	if old, ok := db.enricher.(*remote.Client); ok {
 		old.Close()
 	}

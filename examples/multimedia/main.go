@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"enrichdb"
 )
@@ -107,13 +108,20 @@ func main() {
 
 	// Loose design over a real TCP enrichment server: probe queries select
 	// the camera<8 images, the server enriches both attributes in batch.
+	// The client carries production fault tolerance: a per-call deadline,
+	// retries with backoff, and automatic re-dial if the server restarts.
 	looseDB := buildDB(99)
 	defer looseDB.Close()
-	addr, err := looseDB.ServeEnrichment("127.0.0.1:0")
+	addr, err := looseDB.ServeEnrichmentConfig("127.0.0.1:0", enrichdb.EnrichmentServerConfig{
+		MaxConns: 16, DrainTimeout: 2 * time.Second,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := looseDB.ConnectEnrichmentServer(addr, 0); err != nil {
+	err = looseDB.ConnectEnrichmentServerConfig(addr, enrichdb.EnrichmentClientConfig{
+		CallTimeout: 10 * time.Second, MaxRetries: 2,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
 	lres, err := looseDB.QueryLoose(query)
@@ -124,6 +132,13 @@ func main() {
 		lres.Len(), lres.Enrichments,
 		lres.Timing.Probe.Round(0), lres.Timing.Enrich.Round(0),
 		lres.Timing.Network.Round(0), lres.Timing.DBMS.Round(0))
+	// Enrichment is best-effort: had the server failed mid-query, the query
+	// would still answer with the failed attributes left NULL and the count
+	// surfaced here; re-running the query retries exactly that work.
+	if lres.FailedEnrichments > 0 {
+		fmt.Printf("loose:  %d enrichments failed (will be retried by the next query): %v\n",
+			lres.FailedEnrichments, lres.EnrichErrors)
+	}
 
 	fmt.Printf("\ntight saved %d enrichments (%.0f%%) via lazy short-circuit evaluation\n",
 		lres.Enrichments-tres.Enrichments,

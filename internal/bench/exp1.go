@@ -250,7 +250,10 @@ func Exp1eTimeSplit(s Scale, extraLatency time.Duration) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		client, err := remote.Dial(addr)
+		// Production-shaped client: bounded per-call deadline with retries.
+		// Any retried attempt's wall-clock lands in the network column, so
+		// the split stays truthful if the loopback transport hiccups.
+		client, err := remote.DialOptions(addr, remote.Options{CallTimeout: 30 * time.Second})
 		if err != nil {
 			srv.Close()
 			return nil, err
@@ -263,6 +266,10 @@ func Exp1eTimeSplit(s Scale, extraLatency time.Duration) (*Table, error) {
 		srv.Close()
 		if err != nil {
 			return nil, fmt.Errorf("Q%d loose: %w", qi+1, err)
+		}
+		if lres.FailedEnrichments > 0 {
+			return nil, fmt.Errorf("Q%d loose: %d enrichments failed: %v",
+				qi+1, lres.FailedEnrichments, lres.EnrichErrors)
 		}
 
 		te, err := NewEnv(s, dataset.SingleFunctionSpecs())

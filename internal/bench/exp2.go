@@ -41,7 +41,11 @@ func (e *Env) QualityFn(query string) (func([]*expr.Row) float64, error) {
 	agg := stmt.HasAggregate()
 	return func(got []*expr.Row) float64 {
 		if agg {
-			return 1 / (1 + metrics.GroupRMSE(got, want))
+			rmse, ok := metrics.GroupRMSE(got, want)
+			if !ok {
+				return 0 // no groups on either side: no quality signal yet
+			}
+			return 1 / (1 + rmse)
 		}
 		_, _, f1 := metrics.SetF1(got, want)
 		return f1

@@ -32,10 +32,33 @@ type Result struct {
 	// Enrichments is the number of enrichment function executions this
 	// query caused (Table 7).
 	Enrichments int64
+	// FailedEnrichments counts enrichment requests that produced no output
+	// this run (per-request errors, panicking models, transport failures).
+	// Their derived attributes stay NULL — the paper's "not yet enriched"
+	// state — and a later query retries exactly the failed work.
+	FailedEnrichments int
+	// EnrichErrors samples up to a handful of distinct failure messages.
+	EnrichErrors []string
 	// ProbeTuples is the total number of tuples the probe queries selected.
 	ProbeTuples int
 	Timing      Timing
 	Stats       engine.Stats
+}
+
+// maxErrSample bounds how many failure messages a Result retains.
+const maxErrSample = 5
+
+func (r *Result) recordFailure(msg string) {
+	r.FailedEnrichments++
+	if len(r.EnrichErrors) >= maxErrSample {
+		return
+	}
+	for _, e := range r.EnrichErrors {
+		if e == msg {
+			return
+		}
+	}
+	r.EnrichErrors = append(r.EnrichErrors, msg)
 }
 
 // Driver executes queries with the non-progressive loose design of §2.1:
@@ -91,19 +114,36 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	}
 
 	// Phase 3: enrich at the server, then write the state and the
-	// determined values back into the DBMS.
+	// determined values back into the DBMS. Enrichment is best-effort:
+	// failed requests (or a whole lost batch) degrade to NULL derived
+	// attributes instead of failing the query, and the failure counts are
+	// surfaced so callers can see the answer is partial and retry.
 	if len(reqs) > 0 {
 		resps, timing, err := d.Enricher.EnrichBatch(reqs)
-		if err != nil {
-			return nil, err
-		}
 		res.Timing.Enrich = timing.Compute
 		res.Timing.Network = timing.Network
-		t1 := time.Now()
-		if err := d.WriteBack(resps); err != nil {
-			return nil, err
+		if err != nil {
+			// Whole-batch failure (dead/hung server after retries): every
+			// requested enrichment failed; the query still answers over the
+			// current state.
+			for range reqs {
+				res.recordFailure(err.Error())
+			}
+		} else {
+			ok := make([]Response, 0, len(resps))
+			for _, r := range resps {
+				if r.Failed() {
+					res.recordFailure(r.Err)
+					continue
+				}
+				ok = append(ok, r)
+			}
+			t1 := time.Now()
+			if err := d.WriteBack(ok); err != nil {
+				return nil, err
+			}
+			res.Timing.DBMS += time.Since(t1)
 		}
-		res.Timing.DBMS += time.Since(t1)
 	}
 
 	// Phase 4: execute the original query.
@@ -166,7 +206,8 @@ func (d *Driver) BuildRequests(probes []ProbeResult) ([]Request, error) {
 
 // WriteBack stores the server's outputs in the state tables, determinizes
 // each touched (tuple, attribute), and updates the base tables so queries
-// see the determined values.
+// see the determined values. Failed responses are skipped: their state bits
+// stay unset and their attributes NULL.
 func (d *Driver) WriteBack(resps []Response) error {
 	type ta struct {
 		rel  string
@@ -175,6 +216,9 @@ func (d *Driver) WriteBack(resps []Response) error {
 	}
 	touched := make(map[ta][]float64)
 	for _, r := range resps {
+		if r.Failed() {
+			continue
+		}
 		if err := d.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
 			return err
 		}

@@ -20,12 +20,26 @@ type Request struct {
 }
 
 // Response carries one function's probability output back to the DBMS side.
+// A response with a non-empty Err failed: it carries no probabilities and the
+// tuple's derived attribute stays NULL — the paper's "not yet enriched"
+// state — so a later query can retry exactly the failed work.
 type Response struct {
 	Relation string
 	TID      int64
 	Attr     string
 	FnID     int
 	Probs    []float64
+	// Err is the per-request failure message ("" on success). A string, not
+	// an error, so responses cross the gob/RPC transport unchanged.
+	Err string
+}
+
+// Failed reports whether this request produced no usable output.
+func (r Response) Failed() bool { return r.Err != "" }
+
+// FailResponse builds the failed response for a request.
+func FailResponse(r Request, msg string) Response {
+	return Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Err: msg}
 }
 
 // BatchTiming splits a batch's cost into the components Table 11 reports.
@@ -39,8 +53,12 @@ type BatchTiming struct {
 // Enricher is the enrichment-server abstraction of the loose design.
 type Enricher interface {
 	// EnrichBatch executes the requested functions and returns their
-	// outputs. Batching is the loose design's per-object cost advantage
-	// over per-row UDF invocation (§5.2.1).
+	// outputs, one response per request in order. Batching is the loose
+	// design's per-object cost advantage over per-row UDF invocation
+	// (§5.2.1). Individual failures (invalid request, panicking model,
+	// injected fault) are reported per response via Response.Err; the
+	// returned error is reserved for whole-batch failures (transport loss,
+	// dead server), after which no response is usable.
 	EnrichBatch(reqs []Request) ([]Response, BatchTiming, error)
 	// Close releases any transport resources.
 	Close() error
@@ -68,7 +86,8 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 	// paper's server-side state cache (§3.2): a self-join's probe queries
 	// list the same tuple under both aliases, but the function must run
 	// once. `unique` holds the first request index per key; duplicates copy
-	// its response afterwards.
+	// its response afterwards. An invalid request fails only itself (and
+	// its duplicates): the rest of the batch still runs.
 	type reqKey struct {
 		rel  string
 		tid  int64
@@ -79,13 +98,6 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 	var order []int
 	dup := make([]int, len(reqs)) // index of the canonical request, or own index
 	for i, r := range reqs {
-		fam := e.Mgr.Family(r.Relation, r.Attr)
-		if fam == nil {
-			return nil, BatchTiming{}, fmt.Errorf("loose: enricher has no family for %s.%s", r.Relation, r.Attr)
-		}
-		if r.FnID < 0 || r.FnID >= len(fam.Functions) {
-			return nil, BatchTiming{}, fmt.Errorf("loose: %s.%s has no function %d", r.Relation, r.Attr, r.FnID)
-		}
 		k := reqKey{r.Relation, r.TID, r.Attr, r.FnID}
 		if first, seen := unique[k]; seen {
 			dup[i] = first
@@ -93,6 +105,15 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 		}
 		unique[k] = i
 		dup[i] = i
+		fam := e.Mgr.Family(r.Relation, r.Attr)
+		if fam == nil {
+			resps[i] = FailResponse(r, fmt.Sprintf("loose: enricher has no family for %s.%s", r.Relation, r.Attr))
+			continue
+		}
+		if r.FnID < 0 || r.FnID >= len(fam.Functions) {
+			resps[i] = FailResponse(r, fmt.Sprintf("loose: %s.%s has no function %d", r.Relation, r.Attr, r.FnID))
+			continue
+		}
 		order = append(order, i)
 	}
 
@@ -136,10 +157,22 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 	return resps, BatchTiming{Compute: time.Since(start)}, nil
 }
 
-func (e *LocalEnricher) run(r Request) Response {
+// run executes one request, converting a panic in the enrichment function (a
+// buggy model, a malformed feature vector) into that request's failure
+// instead of crashing the worker pool — and, server-side, the shared
+// enrichment server.
+func (e *LocalEnricher) run(r Request) (resp Response) {
+	resp = Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID}
+	defer func() {
+		if p := recover(); p != nil {
+			resp.Probs = nil
+			resp.Err = fmt.Sprintf("loose: enrichment %s.%s function %d panicked on tuple %d: %v",
+				r.Relation, r.Attr, r.FnID, r.TID, p)
+		}
+	}()
 	fam := e.Mgr.Family(r.Relation, r.Attr)
-	probs := fam.Functions[r.FnID].Run(r.Feature)
-	return Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Probs: probs}
+	resp.Probs = fam.Functions[r.FnID].Run(r.Feature)
+	return resp
 }
 
 // Close implements Enricher (no resources to release).

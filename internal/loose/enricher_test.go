@@ -79,19 +79,78 @@ func TestParallelBatchGOMAXPROCS(t *testing.T) {
 	}
 }
 
-func TestBatchValidationBeforeWork(t *testing.T) {
-	_, mgr := enricherFixture(t)
+func TestBatchValidationFailsOnlyBadRequests(t *testing.T) {
+	// An invalid request fails itself — via Response.Err — without taking
+	// down the rest of the batch: the loose design is best-effort.
+	d, mgr := enricherFixture(t)
 	e := &LocalEnricher{Mgr: mgr, Workers: 4}
-	bad := []Request{
-		{Relation: "TweetData", TID: 1, Attr: "sentiment", FnID: 0, Feature: []float64{0}},
+	tbl := d.DB.MustTable("TweetData")
+	fi := tbl.Schema().ColIndex("feature")
+	good := Request{
+		Relation: "TweetData", TID: 1, Attr: "sentiment", FnID: 0,
+		Feature: tbl.Get(1).Vals[fi].Vector(),
+	}
+	batch := []Request{
+		good,
 		{Relation: "Nope", TID: 2, Attr: "x", FnID: 0, Feature: []float64{0}},
+		{Relation: "TweetData", TID: 3, Attr: "sentiment", FnID: 9, Feature: []float64{0}},
 	}
-	if _, _, err := e.EnrichBatch(bad); err == nil {
-		t.Error("unknown relation must fail the whole batch")
+	resps, _, err := e.EnrichBatch(batch)
+	if err != nil {
+		t.Fatalf("partial validation failures must not fail the batch: %v", err)
 	}
-	bad[1] = Request{Relation: "TweetData", TID: 2, Attr: "sentiment", FnID: 9, Feature: []float64{0}}
-	if _, _, err := e.EnrichBatch(bad); err == nil {
-		t.Error("bad function id must fail the whole batch")
+	if len(resps) != 3 {
+		t.Fatalf("responses: %d", len(resps))
+	}
+	if resps[0].Failed() || len(resps[0].Probs) == 0 {
+		t.Errorf("valid request must succeed: %+v", resps[0])
+	}
+	if !resps[1].Failed() || resps[1].Probs != nil {
+		t.Errorf("unknown relation must fail its own request: %+v", resps[1])
+	}
+	if !resps[2].Failed() || resps[2].Probs != nil {
+		t.Errorf("bad function id must fail its own request: %+v", resps[2])
+	}
+	if resps[1].TID != 2 || resps[2].FnID != 9 {
+		t.Error("failed responses must echo the request identity for retry bookkeeping")
+	}
+}
+
+// panicClassifier panics on every PredictProba call.
+type panicClassifier struct{ classes int }
+
+func (p *panicClassifier) Name() string                       { return "panic" }
+func (p *panicClassifier) Fit([][]float64, []int, int) error  { return nil }
+func (p *panicClassifier) Classes() int                       { return p.classes }
+func (p *panicClassifier) PredictProba(x []float64) []float64 { panic("model exploded") }
+
+func TestWorkerPoolRecoversFromPanic(t *testing.T) {
+	// A panicking model must yield one failed response, not a crashed
+	// process — server-side, a crashed shared enrichment server.
+	d, mgr := enricherFixture(t)
+	fam := mgr.Family("TweetData", "sentiment")
+	saved := fam.Functions[0].Model
+	fam.Functions[0].Model = &panicClassifier{classes: 2}
+	defer func() { fam.Functions[0].Model = saved }()
+
+	for _, workers := range []int{0, 4} {
+		e := &LocalEnricher{Mgr: mgr, Workers: workers}
+		reqs := buildBatch(t, d, 8)
+		resps, _, err := e.EnrichBatch(reqs)
+		if err != nil {
+			t.Fatalf("workers=%d: panic must not fail the batch: %v", workers, err)
+		}
+		if len(resps) != 8 {
+			t.Fatalf("workers=%d: responses: %d", workers, len(resps))
+		}
+		for i, r := range resps {
+			if !r.Failed() {
+				t.Fatalf("workers=%d response %d: expected failure, got %+v", workers, i, r)
+			}
+			if r.Probs != nil {
+				t.Errorf("workers=%d response %d: failed response must carry no probs", workers, i)
+			}
+		}
 	}
 }
 

@@ -122,12 +122,16 @@ func TestRemoteErrors(t *testing.T) {
 	}
 	defer client.Close()
 
-	// Unknown family propagates as an RPC error.
-	_, _, err = client.EnrichBatch([]loose.Request{{
+	// An unknown family fails its own request — carried through the RPC as
+	// a per-response error, not a whole-batch failure.
+	resps, _, err := client.EnrichBatch([]loose.Request{{
 		Relation: "Nope", TID: 1, Attr: "x", FnID: 0, Feature: []float64{1},
 	}})
-	if err == nil {
-		t.Error("unknown relation must fail through RPC")
+	if err != nil {
+		t.Fatalf("per-request failure must not fail the batch: %v", err)
+	}
+	if len(resps) != 1 || !resps[0].Failed() {
+		t.Errorf("unknown relation must fail its request through RPC: %+v", resps)
 	}
 
 	if _, err := Dial("127.0.0.1:1"); err == nil {

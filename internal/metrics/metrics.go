@@ -35,7 +35,10 @@ func rowKey(r *expr.Row) string {
 
 // SetF1 compares an answer set against the ground-truth answer set and
 // returns precision, recall and F1. Duplicate rows are counted as a
-// multiset.
+// multiset. Empty sides follow the vacuous-truth convention: with both sets
+// empty the match is perfect (1, 1, 1), not the former silent (0, 0, 0);
+// an empty ground truth with a non-empty answer is pure false positives
+// (precision 0, recall vacuously 1, F1 0).
 func SetF1(got, want []*expr.Row) (precision, recall, f1 float64) {
 	wantCounts := make(map[string]int, len(want))
 	for _, r := range want {
@@ -49,9 +52,11 @@ func SetF1(got, want []*expr.Row) (precision, recall, f1 float64) {
 			wantCounts[k]--
 		}
 	}
+	precision = 1 // vacuously: no answers, none wrong
 	if len(got) > 0 {
 		precision = float64(tp) / float64(len(got))
 	}
+	recall = 1 // vacuously: nothing to find, nothing missed
 	if len(want) > 0 {
 		recall = float64(tp) / float64(len(want))
 	}
@@ -65,8 +70,10 @@ func SetF1(got, want []*expr.Row) (precision, recall, f1 float64) {
 // columns except the last (the aggregate value), and the RMSE of the value
 // deviations over the union of groups is returned (§5.2.2's treatment of
 // Q9). Groups missing on either side contribute their full value as
-// deviation.
-func GroupRMSE(got, want []*expr.Row) float64 {
+// deviation. ok is false when neither side has any groups — there the RMSE
+// is undefined, and the former behaviour of returning 0 silently read as a
+// perfect score against an empty ground truth.
+func GroupRMSE(got, want []*expr.Row) (rmse float64, ok bool) {
 	type gv struct {
 		got, want  float64
 		hasG, hasW bool
@@ -108,14 +115,14 @@ func GroupRMSE(got, want []*expr.Row) float64 {
 		g.hasW = true
 	}
 	if len(groups) == 0 {
-		return 0
+		return 0, false
 	}
 	sum := 0.0
 	for _, g := range groups {
 		d := g.got - g.want
 		sum += d * d
 	}
-	return math.Sqrt(sum / float64(len(groups)))
+	return math.Sqrt(sum / float64(len(groups))), true
 }
 
 // ProgressiveScore computes PS (Equation 1): the weighted sum of per-epoch

@@ -34,17 +34,23 @@ func TestSetF1PartialOverlap(t *testing.T) {
 }
 
 func TestSetF1Empty(t *testing.T) {
+	// Both sides empty: a vacuously perfect match — NOT the silent zero the
+	// old code returned (which read as "totally wrong" for a query whose
+	// true answer is legitimately empty).
 	p, r, f1 := SetF1(nil, nil)
-	if p != 0 || r != 0 || f1 != 0 {
-		t.Errorf("empty: %v %v %v", p, r, f1)
+	if p != 1 || r != 1 || f1 != 1 {
+		t.Errorf("both empty must be perfect: %v %v %v", p, r, f1)
 	}
-	_, r, _ = SetF1(nil, []*expr.Row{row([]int64{1})})
-	if r != 0 {
-		t.Errorf("empty got: recall %v", r)
+	// Empty answer against a non-empty truth: nothing found.
+	p, r, f1 = SetF1(nil, []*expr.Row{row([]int64{1})})
+	if p != 1 || r != 0 || f1 != 0 {
+		t.Errorf("empty got: p=%v r=%v f1=%v", p, r, f1)
 	}
-	p, _, _ = SetF1([]*expr.Row{row([]int64{1})}, nil)
-	if p != 0 {
-		t.Errorf("empty want: precision %v", p)
+	// Non-empty answer against an empty truth: pure false positives, which
+	// must NOT score as perfect.
+	p, r, f1 = SetF1([]*expr.Row{row([]int64{1})}, nil)
+	if p != 0 || r != 1 || f1 != 0 {
+		t.Errorf("empty want: p=%v r=%v f1=%v", p, r, f1)
 	}
 }
 
@@ -76,8 +82,9 @@ func TestGroupRMSE(t *testing.T) {
 		row(nil, types.NewInt(1), types.NewInt(16)),
 	}
 	// deviations 3 and 4 over 2 groups: sqrt((9+16)/2) = 3.5355
-	if got := GroupRMSE(got, want); math.Abs(got-math.Sqrt(12.5)) > 1e-9 {
-		t.Errorf("rmse = %v", got)
+	g, ok := GroupRMSE(got, want)
+	if !ok || math.Abs(g-math.Sqrt(12.5)) > 1e-9 {
+		t.Errorf("rmse = %v ok=%v", g, ok)
 	}
 }
 
@@ -88,19 +95,26 @@ func TestGroupRMSEMissingGroups(t *testing.T) {
 		row(nil, types.NewInt(1), types.NewInt(6)),
 	}
 	// group 1 missing from got: deviation 6 over 2 groups.
-	if g := GroupRMSE(got, want); math.Abs(g-math.Sqrt(18)) > 1e-9 {
-		t.Errorf("rmse = %v", g)
+	g, ok := GroupRMSE(got, want)
+	if !ok || math.Abs(g-math.Sqrt(18)) > 1e-9 {
+		t.Errorf("rmse = %v ok=%v", g, ok)
 	}
-	if g := GroupRMSE(nil, nil); g != 0 {
-		t.Errorf("empty rmse = %v", g)
+	// No groups at all: the RMSE is undefined, not a perfect 0 — the old
+	// behaviour scored an empty ground truth as a perfect match.
+	if g, ok := GroupRMSE(nil, nil); ok || g != 0 {
+		t.Errorf("empty rmse must be undefined: %v ok=%v", g, ok)
+	}
+	// One-sided emptiness is still defined (missing groups deviate fully).
+	if g, ok := GroupRMSE(nil, want); !ok || g == 0 {
+		t.Errorf("empty got vs 2 groups: %v ok=%v", g, ok)
 	}
 }
 
 func TestGroupRMSENullValue(t *testing.T) {
 	got := []*expr.Row{row(nil, types.NewInt(0), types.Null)}
 	want := []*expr.Row{row(nil, types.NewInt(0), types.NewInt(4))}
-	if g := GroupRMSE(got, want); g != 4 {
-		t.Errorf("NULL treated as 0: rmse = %v", g)
+	if g, ok := GroupRMSE(got, want); !ok || g != 4 {
+		t.Errorf("NULL treated as 0: rmse = %v ok=%v", g, ok)
 	}
 }
 

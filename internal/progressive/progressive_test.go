@@ -173,7 +173,8 @@ func TestProgressiveAggregation(t *testing.T) {
 		Design: Loose, Query: q, DB: d.DB, Mgr: mgr,
 		Strategy: SBFO, EpochBudget: 3 * time.Millisecond, MaxEpochs: 300, Seed: 2,
 		Quality: func(got []*expr.Row) float64 {
-			return -metrics.GroupRMSE(got, want) // higher is better
+			rmse, _ := metrics.GroupRMSE(got, want) // want is non-empty here
+			return -rmse                            // higher is better
 		},
 	})
 	if err != nil {

@@ -383,6 +383,11 @@ func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
 	}
 	touched := make(map[ta]bool)
 	for _, r := range resps {
+		if r.Failed() {
+			// Best-effort: a failed request leaves its state bits unset, so
+			// a later epoch's plan simply re-selects the same triplet.
+			continue
+		}
 		if err := cfg.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
 			return timing, err
 		}

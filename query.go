@@ -49,6 +49,14 @@ type Result struct {
 	// Enrichments is the number of enrichment function executions the
 	// query caused.
 	Enrichments int64
+	// FailedEnrichments counts enrichment requests that produced no output
+	// (loose design only: per-request errors, panicking models, transport
+	// failures). Their derived attributes stay NULL — the paper's "not yet
+	// enriched" state — and re-running the query retries exactly that work.
+	FailedEnrichments int
+	// EnrichErrors samples up to a handful of distinct failure messages when
+	// FailedEnrichments > 0.
+	EnrichErrors []string
 	// UDFInvocations counts UDF calls (tight design only).
 	UDFInvocations int64
 	// Timing splits the execution cost.
@@ -104,8 +112,10 @@ func (db *DB) QueryLoose(query string) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Rows:        wrapRows(plan.Schema(), res.Rows),
-		Enrichments: res.Enrichments,
+		Rows:              wrapRows(plan.Schema(), res.Rows),
+		Enrichments:       res.Enrichments,
+		FailedEnrichments: res.FailedEnrichments,
+		EnrichErrors:      res.EnrichErrors,
 		Timing: QueryTiming{
 			Probe:   res.Timing.Probe,
 			Enrich:  res.Timing.Enrich,
