@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tidy
+.PHONY: check vet build test race test-race bench fuzz tidy
 
 # Tier-1 gate: everything a PR must keep green.
 check: vet build test race
@@ -19,6 +19,25 @@ test:
 # tests that hammer all three.
 race:
 	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/...
+
+# Full concurrency gate: vet, then the concurrency/chaos/equivalence suites
+# under the race detector, twice (-count=2 defeats the test cache and shakes
+# out order-dependent races). Covers the worker pool and singleflight
+# (enrich), the batch transport and chaos tests (loose, faultinject), the
+# micro-batching runtime (tight), the view lock (ivm), and the Workers
+# equivalence battery (progressive).
+test-race: vet
+	$(GO) test -race -count=2 \
+		./internal/enrich/... \
+		./internal/loose/... \
+		./internal/faultinject/... \
+		./internal/tight/... \
+		./internal/ivm/... \
+		./internal/progressive/...
+
+# Short fuzz pass over the SQL parser (no panics; print/parse round-trip).
+fuzz:
+	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparser
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -10,6 +10,7 @@
 package enrichdb
 
 import (
+	"fmt"
 	"strconv"
 	"testing"
 	"time"
@@ -97,6 +98,29 @@ func BenchmarkExp1TimeSplit(b *testing.B) {
 			b.Fatal(err)
 		}
 		last = t
+	}
+	b.Log("\n" + last.String())
+}
+
+// BenchmarkExp1Workers regenerates Exp 1f: epoch wall-clock vs the Workers
+// knob for both designs. The reported metric is the tight design's speedup
+// at the highest worker count over its Workers:1 baseline — the headline the
+// parallel epoch executor must deliver (>1 means wall-clock improved).
+func BenchmarkExp1Workers(b *testing.B) {
+	var last *bench.Table
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Exp1fWorkers(benchScale(), []int{1, 2, 4, 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = t
+	}
+	// Last row = tight design at the highest worker count; its final column
+	// is the speedup over tight Workers:1.
+	tightBest := last.Rows[len(last.Rows)-1]
+	var speedup float64
+	if _, err := fmt.Sscanf(tightBest[len(tightBest)-1], "%fx", &speedup); err == nil {
+		b.ReportMetric(speedup, "tight_speedup_w8")
 	}
 	b.Log("\n" + last.String())
 }

@@ -19,7 +19,7 @@ import (
 )
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 2, 3, 4, 5, ablation, ingest")
+	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 1f, 2, 3, 4, 5, ablation, ingest")
 	scaleFlag := flag.String("scale", "small", "dataset scale: small or medium")
 	flag.Parse()
 
@@ -72,6 +72,13 @@ func main() {
 		})
 		ran = true
 	}
+	if want("1f") {
+		run("Exp 1f", func() ([]*bench.Table, error) {
+			t, err := bench.Exp1fWorkers(scale, []int{1, 2, 4, 8})
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
 	if want("2") {
 		run("Exp 2", func() ([]*bench.Table, error) {
 			fig7, fig6, err := bench.Exp2Progressiveness(scale)
@@ -89,7 +96,11 @@ func main() {
 	if want("4") {
 		run("Exp 4", func() ([]*bench.Table, error) {
 			t, err := bench.Exp4Overhead(scale)
-			return []*bench.Table{t}, err
+			if err != nil {
+				return nil, err
+			}
+			w, err := bench.Exp4WorkersOverhead(scale, []int{1, 2, 4, 8})
+			return []*bench.Table{t, w}, err
 		})
 		ran = true
 	}

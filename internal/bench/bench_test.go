@@ -2,6 +2,7 @@ package bench
 
 import (
 	"enrichdb/internal/dataset"
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -252,6 +253,60 @@ func TestExp4Shape(t *testing.T) {
 	}
 	if !found {
 		t.Error("missing IVM-vs-recompute note")
+	}
+}
+
+// TestExp1fWorkersShape validates the workers axis: both designs produce a
+// row per worker count, enrichments are worker-count-independent (the
+// equivalence guarantee), and the tight design's epoch wall-clock improves
+// with workers.
+func TestExp1fWorkersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("progressive sweep")
+	}
+	tb, err := Exp1fWorkers(tiny(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	if len(tb.Rows) != 4 { // 2 designs × 2 worker counts
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	for _, pair := range [][2]int{{0, 1}, {2, 3}} {
+		if cell(t, tb, pair[0], 3) != cell(t, tb, pair[1], 3) {
+			t.Errorf("%s enrichments vary with workers: %s vs %s",
+				cell(t, tb, pair[0], 0), cell(t, tb, pair[0], 3), cell(t, tb, pair[1], 3))
+		}
+	}
+	// Tight at workers=4 (last row) must beat its workers=1 baseline.
+	var speedup float64
+	if _, err := fmt.Sscanf(cell(t, tb, 3, 7), "%fx", &speedup); err != nil {
+		t.Fatalf("bad speedup cell %q: %v", cell(t, tb, 3, 7), err)
+	}
+	if speedup <= 1.1 {
+		t.Errorf("tight workers=4 speedup %.2fx; want > 1.1x", speedup)
+	}
+}
+
+// TestExp4WorkersShape validates the Exp 4 workers axis: one row per worker
+// count and strictly fewer overhead payments once workers coalesce.
+func TestExp4WorkersShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("progressive sweep")
+	}
+	tb, err := Exp4WorkersOverhead(tiny(), []int{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tb.String())
+	if len(tb.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tb.Rows))
+	}
+	if p1, p4 := intCell(t, tb, 0, 6), intCell(t, tb, 1, 6); p4 >= p1 {
+		t.Errorf("payments did not drop with workers: %d -> %d", p1, p4)
+	}
+	if c4 := intCell(t, tb, 1, 7); c4 == 0 {
+		t.Error("no coalesced read_udf calls at workers=4")
 	}
 }
 

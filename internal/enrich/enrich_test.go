@@ -299,10 +299,10 @@ func TestStateTableGuards(t *testing.T) {
 	if err := st.addFamily(fam); err == nil {
 		t.Error("duplicate addFamily must fail")
 	}
-	if err := st.SetOutput(1, "nope", 0, []float64{1, 0}); err == nil {
+	if _, err := st.SetOutput(1, "nope", 0, []float64{1, 0}); err == nil {
 		t.Error("unknown attr must fail")
 	}
-	if err := st.SetOutput(1, "d", 9, []float64{1, 0}); err == nil {
+	if _, err := st.SetOutput(1, "d", 9, []float64{1, 0}); err == nil {
 		t.Error("bad function id must fail")
 	}
 	if err := st.SetValue(1, "nope", types.NewInt(0)); err == nil {
@@ -311,7 +311,12 @@ func TestStateTableGuards(t *testing.T) {
 	if st.Get(1, "d") != nil {
 		t.Error("untouched state must be nil")
 	}
-	st.SetOutput(1, "d", 0, []float64{1, 0})
+	if stored, err := st.SetOutput(1, "d", 0, []float64{1, 0}); err != nil || !stored {
+		t.Fatalf("first SetOutput: stored=%v err=%v", stored, err)
+	}
+	if stored, err := st.SetOutput(1, "d", 0, []float64{0, 1}); err != nil || stored {
+		t.Fatalf("duplicate SetOutput must report stored=false: stored=%v err=%v", stored, err)
+	}
 	if err := st.addFamily(&Family{Relation: "R", Attr: "e", Domain: 2,
 		Functions: []*Function{{Model: &fixedModel{probs: []float64{1, 0}}}}}); err == nil {
 		t.Error("addFamily after state exists must fail")

@@ -30,6 +30,12 @@ type Function struct {
 	// benchmarks use it to emulate the paper's heavy models (100ms+/object)
 	// at a reduced scale without hour-long runs.
 	ExtraCost time.Duration
+	// PinCost, when set, makes AvgCost return CostEst unconditionally, so
+	// plan construction is independent of measured wall-clock. The
+	// equivalence tests pin costs to compare Workers:N against Workers:1
+	// runs bit for bit; production runs leave it unset and let the planner
+	// adapt to observed costs.
+	PinCost bool
 
 	mu        sync.Mutex
 	execCount int64
@@ -68,8 +74,15 @@ func (f *Function) Stats() (count int64, total time.Duration) {
 }
 
 // AvgCost returns the function's observed mean per-object cost, falling back
-// to CostEst (then 1µs) when it has not run yet.
+// to CostEst (then 1µs) when it has not run yet. With PinCost set it always
+// returns CostEst.
 func (f *Function) AvgCost() time.Duration {
+	if f.PinCost {
+		if f.CostEst > 0 {
+			return f.CostEst
+		}
+		return time.Microsecond
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if f.execCount > 0 {

@@ -33,11 +33,19 @@ type Counters struct {
 }
 
 // Manager owns the function families and state tables of a database and is
-// the single write path for enrichment state in both designs.
+// the single write path for enrichment state in both designs. It is safe for
+// concurrent use: a per-(relation, tid, attr, function) singleflight group
+// guarantees that no enrichment function is ever executed twice for the same
+// triplet, even when epoch workers race on it — the loser of the race waits
+// for the winner's state write and counts as Skipped, exactly as a sequential
+// second call would.
 type Manager struct {
 	mu       sync.RWMutex
 	families map[string]map[string]*Family // relation -> attr -> family
 	states   map[string]*StateTable
+
+	flightMu sync.Mutex
+	inflight map[tripletID]chan struct{}
 
 	enrichments  atomic.Int64
 	skipped      atomic.Int64
@@ -47,11 +55,20 @@ type Manager struct {
 	enrichNanos  atomic.Int64
 }
 
+// tripletID identifies one enrichment execution unit.
+type tripletID struct {
+	relation string
+	tid      int64
+	attr     string
+	fnID     int
+}
+
 // NewManager returns an empty manager.
 func NewManager() *Manager {
 	return &Manager{
 		families: make(map[string]map[string]*Family),
 		states:   make(map[string]*StateTable),
+		inflight: make(map[tripletID]chan struct{}),
 	}
 }
 
@@ -104,9 +121,33 @@ func (m *Manager) SetCutoff(c float64) {
 	}
 }
 
+// acquire joins the singleflight group of a triplet. The first caller
+// becomes the leader (done == nil); followers receive the leader's done
+// channel to wait on.
+func (m *Manager) acquire(key tripletID) (done chan struct{}, leader bool) {
+	m.flightMu.Lock()
+	defer m.flightMu.Unlock()
+	if ch, busy := m.inflight[key]; busy {
+		return ch, false
+	}
+	ch := make(chan struct{})
+	m.inflight[key] = ch
+	return ch, true
+}
+
+// release ends a leader's flight, waking every follower.
+func (m *Manager) release(key tripletID, ch chan struct{}) {
+	m.flightMu.Lock()
+	delete(m.inflight, key)
+	m.flightMu.Unlock()
+	close(ch)
+}
+
 // Execute runs function fnID of (relation, attr) on the tuple's feature
 // vector unless the state bitmap shows it already ran. It returns whether an
-// execution actually happened.
+// execution actually happened. Concurrent calls for the same triplet are
+// deduplicated: exactly one caller runs the function; the others wait for
+// its state write and report a skip.
 func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, feature []float64) (bool, error) {
 	fam := m.Family(relation, attr)
 	if fam == nil {
@@ -116,7 +157,27 @@ func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, fea
 		return false, fmt.Errorf("enrich: %s.%s has no function %d", relation, attr, fnID)
 	}
 	st := m.StateTable(relation)
-	if s := st.Get(tid, attr); s.Executed(fnID) {
+	key := tripletID{relation, tid, attr, fnID}
+	var flight chan struct{}
+	for {
+		if st.Executed(tid, attr, fnID) {
+			m.skipped.Add(1)
+			return false, nil
+		}
+		ch, leader := m.acquire(key)
+		if leader {
+			flight = ch
+			break
+		}
+		// A concurrent execution is in flight; wait for its state write and
+		// re-check. If the leader failed (state bit still unset) the loop
+		// retries the execution itself.
+		<-ch
+	}
+	defer m.release(key, flight)
+	// The flight we raced against may have completed between the state check
+	// and the acquire; the bitmap is the source of truth.
+	if st.Executed(tid, attr, fnID) {
 		m.skipped.Add(1)
 		return false, nil
 	}
@@ -125,7 +186,7 @@ func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, fea
 	m.enrichNanos.Add(int64(time.Since(runStart)))
 	m.enrichments.Add(1)
 	start := time.Now()
-	err := st.SetOutput(tid, attr, fnID, probs)
+	_, err := st.SetOutput(tid, attr, fnID, probs)
 	m.stateNanos.Add(int64(time.Since(start)))
 	if err != nil {
 		return false, err
@@ -135,21 +196,25 @@ func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, fea
 
 // ApplyOutput records an externally produced function output (the loose
 // design's enrichment server returns outputs computed remotely). It counts
-// as an enrichment.
+// as an enrichment; a duplicate (the triplet already executed, possibly by a
+// concurrent worker a moment ago) counts as a skip.
 func (m *Manager) ApplyOutput(relation string, tid int64, attr string, fnID int, probs []float64) error {
 	st := m.StateTable(relation)
 	if st == nil {
 		return fmt.Errorf("enrich: no state table for %s", relation)
 	}
-	if s := st.Get(tid, attr); s.Executed(fnID) {
-		m.skipped.Add(1)
-		return nil
-	}
-	m.enrichments.Add(1)
 	start := time.Now()
-	err := st.SetOutput(tid, attr, fnID, probs)
+	stored, err := st.SetOutput(tid, attr, fnID, probs)
 	m.stateNanos.Add(int64(time.Since(start)))
-	return err
+	if err != nil {
+		return err
+	}
+	if stored {
+		m.enrichments.Add(1)
+	} else {
+		m.skipped.Add(1)
+	}
+	return nil
 }
 
 // Enriched reports whether function fnID already ran for (relation, tid,
@@ -159,7 +224,7 @@ func (m *Manager) Enriched(relation string, tid int64, attr string, fnID int) bo
 	if st == nil {
 		return false
 	}
-	return st.Get(tid, attr).Executed(fnID)
+	return st.Executed(tid, attr, fnID)
 }
 
 // FullyEnriched reports whether every family function ran for the attribute
@@ -169,8 +234,7 @@ func (m *Manager) FullyEnriched(relation string, tid int64, attr string) bool {
 	if fam == nil {
 		return false
 	}
-	s := m.StateTable(relation).Get(tid, attr)
-	return s != nil && s.Bitmap == fam.FullBitmap()
+	return m.StateTable(relation).BitmapOf(tid, attr) == fam.FullBitmap()
 }
 
 // Determine runs the family's determinization function over the current
@@ -184,12 +248,12 @@ func (m *Manager) Determine(relation string, tid int64, attr string, feature []f
 		return types.Null, fmt.Errorf("enrich: no family for %s.%s", relation, attr)
 	}
 	st := m.StateTable(relation)
-	s := st.Get(tid, attr)
-	if s == nil {
+	snap := st.OutputSnapshot(tid, attr)
+	if snap == nil {
 		return types.Null, nil
 	}
 	outputs := make([][]float64, len(fam.Functions))
-	for id, o := range s.Outputs {
+	for id, o := range snap {
 		if o == nil {
 			continue
 		}
@@ -220,11 +284,7 @@ func (m *Manager) Value(relation string, tid int64, attr string) types.Value {
 	if st == nil {
 		return types.Null
 	}
-	s := st.Get(tid, attr)
-	if s == nil {
-		return types.Null
-	}
-	return s.Value
+	return st.ValueOf(tid, attr)
 }
 
 // ResetTuple clears a tuple's state after a base-table update (§3.3.5).

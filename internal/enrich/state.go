@@ -105,7 +105,9 @@ func (st *StateTable) SetCutoff(c float64) {
 
 // Get returns the state of (tid, attr), or nil when nothing was stored. The
 // returned pointer shares the table's storage; callers must treat it as
-// read-only.
+// read-only, and concurrent writers make even reads racy — concurrent code
+// must use Executed, BitmapOf, ValueOf or OutputSnapshot instead, which read
+// under the table lock.
 func (st *StateTable) Get(tid int64, attr string) *AttrState {
 	st.mu.RLock()
 	defer st.mu.RUnlock()
@@ -135,18 +137,24 @@ func (st *StateTable) ensure(tid int64, ai int) *AttrState {
 }
 
 // SetOutput records a function's output, applying the cutoff, and marks the
-// function executed.
-func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float64) error {
+// function executed. The first write per (tid, attr, fnID) wins: a second
+// write finds the bitmap bit set and returns stored=false without touching
+// the state, which makes concurrent duplicate enrichments (two epoch workers
+// racing on a self-join's shared tuple) collapse to one deterministic write.
+func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float64) (stored bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	ai, ok := st.attrIdx[attr]
 	if !ok {
-		return fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
+		return false, fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
 	}
 	if fnID < 0 || fnID >= len(st.families[ai].Functions) {
-		return fmt.Errorf("enrich: %s.%s has no function %d", st.Relation, attr, fnID)
+		return false, fmt.Errorf("enrich: %s.%s has no function %d", st.Relation, attr, fnID)
 	}
 	s := st.ensure(tid, ai)
+	if s.Bitmap&(1<<uint(fnID)) != 0 {
+		return false, nil
+	}
 	out := &Output{Probs: make([]float64, len(probs))}
 	for i, p := range probs {
 		if st.cutoff > 0 && p < st.cutoff {
@@ -158,7 +166,66 @@ func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float6
 	}
 	s.Outputs[fnID] = out
 	s.Bitmap |= 1 << uint(fnID)
-	return nil
+	return true, nil
+}
+
+// Executed reports whether function fnID of (tid, attr) has run, reading
+// under the table lock (safe against concurrent writers, unlike Get).
+func (st *StateTable) Executed(tid int64, attr string, fnID int) bool {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.locked(tid, attr).Executed(fnID)
+}
+
+// BitmapOf returns the executed-function bitmap of (tid, attr) under the
+// table lock; zero when no state exists.
+func (st *StateTable) BitmapOf(tid int64, attr string) uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if s := st.locked(tid, attr); s != nil {
+		return s.Bitmap
+	}
+	return 0
+}
+
+// ValueOf returns the determined value of (tid, attr) under the table lock;
+// Null when no state exists.
+func (st *StateTable) ValueOf(tid int64, attr string) types.Value {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	if s := st.locked(tid, attr); s != nil {
+		return s.Value
+	}
+	return types.Null
+}
+
+// OutputSnapshot returns a copy of the per-function output slice of
+// (tid, attr), or nil when no state exists. Output structs are immutable
+// once published, so copying the pointer slice under the lock yields a
+// consistent snapshot concurrent determinization can read freely.
+func (st *StateTable) OutputSnapshot(tid int64, attr string) []*Output {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	s := st.locked(tid, attr)
+	if s == nil {
+		return nil
+	}
+	out := make([]*Output, len(s.Outputs))
+	copy(out, s.Outputs)
+	return out
+}
+
+// locked is Get without locking; caller must hold st.mu.
+func (st *StateTable) locked(tid int64, attr string) *AttrState {
+	ai, ok := st.attrIdx[attr]
+	if !ok {
+		return nil
+	}
+	row := st.rows[tid]
+	if row == nil {
+		return nil
+	}
+	return row[ai]
 }
 
 // SetValue stores the determined value for (tid, attr).

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"enrichdb/internal/engine"
 	"enrichdb/internal/expr"
@@ -66,8 +67,14 @@ type signedRow struct {
 	sign int
 }
 
-// View is an incrementally maintained materialization of one query.
+// View is an incrementally maintained materialization of one query. Its
+// methods are safe for concurrent use: Apply serializes against readers
+// (Rows, InputRows, SizeBytes, Len), so a run's epoch workers — or a caller
+// polling delta answers from another goroutine — never observe a view mid-
+// maintenance. Note snapshot() mutates the per-alias cache, which makes even
+// the read paths writes.
 type View struct {
+	mu       sync.Mutex
 	a        *engine.Analysis
 	out      *engine.Output
 	inputs   []*aliasInput
@@ -178,6 +185,8 @@ func New(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) (*View, error)
 // input deltas are computed against the pre-batch inputs, then joined with
 // the standard sequential rule.
 func (v *View) Apply(ctx *engine.ExecCtx, deltas []TupleDelta) (*Delta, error) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if ctx == nil {
 		ctx = engine.NewExecCtx()
 	}
@@ -402,6 +411,8 @@ func spjKey(r *expr.Row) string {
 // in first-materialization order for SPJ queries and sorted group order for
 // aggregations.
 func (v *View) Rows() []*expr.Row {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.out.Agg != nil {
 		return v.aggRows()
 	}
@@ -422,6 +433,8 @@ func (v *View) Schema() *expr.RowSchema { return v.out.Schema }
 // the tuples, post-selection, that the view's join currently sees. The tight
 // design's per-epoch delta evaluation joins planned tuples against these.
 func (v *View) InputRows(alias string) []*expr.Row {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	for _, in := range v.inputs {
 		if in.meta.Alias == alias {
 			return in.snapshot()
@@ -433,6 +446,8 @@ func (v *View) InputRows(alias string) []*expr.Row {
 // SizeBytes estimates the materialized view's footprint (Exp 5): 8 bytes per
 // value plus tuple-id bookkeeping per stored result row or group.
 func (v *View) SizeBytes() int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	var size int64
 	for _, e := range v.spj {
 		if e.count > 0 {
@@ -452,6 +467,8 @@ func (v *View) SizeBytes() int64 {
 
 // Len returns the number of result rows currently in the view.
 func (v *View) Len() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
 	if v.out.Agg != nil {
 		n := 0
 		for _, g := range v.groups {

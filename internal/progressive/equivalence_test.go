@@ -1,0 +1,227 @@
+package progressive
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"enrichdb/internal/enrich"
+	"enrichdb/internal/expr"
+)
+
+// The equivalence battery: for a grid of (design × strategy × query), a run
+// with Workers: N must be byte-identical to the Workers: 1 baseline — same
+// final rows in the same order, same enrichment counters, same per-epoch
+// plan sizes and delta answers. This is the contract the parallel epoch
+// executor promises (singleflight dedup + first-write-wins state + sorted
+// delta application), checked under -race by the Makefile's test-race target.
+
+// pinnedFixtureAttrs lists every family the fixture registers.
+var pinnedFixtureAttrs = [][2]string{
+	{"TweetData", "sentiment"},
+	{"TweetData", "topic"},
+	{"MultiPie", "gender"},
+	{"MultiPie", "expression"},
+}
+
+// pinCosts freezes every function's planning cost: AvgCost normally feeds
+// measured wall-clock back into plan construction, which would make the
+// PlanTable — and therefore the whole run — timing-dependent and impossible
+// to compare across worker counts.
+func pinCosts(t *testing.T, mgr *enrich.Manager) {
+	t.Helper()
+	for _, fa := range pinnedFixtureAttrs {
+		fam := mgr.Family(fa[0], fa[1])
+		if fam == nil {
+			t.Fatalf("fixture has no family %s.%s", fa[0], fa[1])
+		}
+		for _, fn := range fam.Functions {
+			fn.PinCost = true
+			fn.CostEst = 300 * time.Microsecond
+		}
+	}
+}
+
+func rowKey(r *expr.Row) string {
+	var sb strings.Builder
+	for _, v := range r.Vals {
+		sb.WriteString(v.Key())
+		sb.WriteByte('|')
+	}
+	sb.WriteByte('#')
+	for _, tid := range r.TIDs {
+		fmt.Fprintf(&sb, "%d,", tid)
+	}
+	return sb.String()
+}
+
+func rowsKey(rows []*expr.Row) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = rowKey(r)
+	}
+	return strings.Join(keys, "\n")
+}
+
+// epochSummary is the determinism-relevant slice of an EpochReport: counts
+// and delta answers, not timings.
+type epochSummary struct {
+	Planned        int
+	Executed       int64
+	Inserted       int
+	Deleted        int
+	InsertedRows   string
+	DeletedRows    string
+	PlanTableBytes int64
+}
+
+// runSummary is everything two equivalent runs must agree on byte for byte.
+type runSummary struct {
+	Rows     string
+	Quality  []float64
+	Epochs   []epochSummary
+	Counters enrich.Counters // durations zeroed: wall-clock legitimately differs
+}
+
+func summarize(res *Result, before, after enrich.Counters) runSummary {
+	s := runSummary{Rows: rowsKey(res.Rows), Quality: res.Quality}
+	for _, ep := range res.Epochs {
+		s.Epochs = append(s.Epochs, epochSummary{
+			Planned:        ep.Planned,
+			Executed:       ep.Executed,
+			Inserted:       ep.Inserted,
+			Deleted:        ep.Deleted,
+			InsertedRows:   rowsKey(ep.InsertedRows),
+			DeletedRows:    rowsKey(ep.DeletedRows),
+			PlanTableBytes: ep.PlanTableBytes,
+		})
+	}
+	s.Counters = enrich.Counters{
+		Enrichments:  after.Enrichments - before.Enrichments,
+		Skipped:      after.Skipped - before.Skipped,
+		ReExecutions: after.ReExecutions - before.ReExecutions,
+	}
+	return s
+}
+
+// equivRun executes one fresh fixture at the given worker count and returns
+// its summary. Each call rebuilds dataset, models and manager from the same
+// seeds, so runs are comparable but share no state.
+func equivRun(t *testing.T, design Design, strategy Strategy, query string, workers int) runSummary {
+	t.Helper()
+	d, mgr := fixture(t)
+	pinCosts(t, mgr)
+	before := mgr.Counters()
+	res, err := Run(Config{
+		Design:        design,
+		Query:         query,
+		DB:            d.DB,
+		Mgr:           mgr,
+		Strategy:      strategy,
+		EpochBudget:   2 * time.Millisecond,
+		MaxEpochs:     40,
+		Seed:          11,
+		Workers:       workers,
+		CollectDeltas: true,
+		Quality:       truthQuality(t, d, query),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return summarize(res, before, mgr.Counters())
+}
+
+func diffSummaries(t *testing.T, name string, base, got runSummary) {
+	t.Helper()
+	if base.Rows != got.Rows {
+		t.Errorf("%s: final rows differ from Workers:1 baseline", name)
+	}
+	if base.Counters != got.Counters {
+		t.Errorf("%s: counters differ: baseline %+v, got %+v", name, base.Counters, got.Counters)
+	}
+	if len(base.Quality) != len(got.Quality) {
+		t.Errorf("%s: quality series length %d vs %d", name, len(base.Quality), len(got.Quality))
+	} else {
+		for i := range base.Quality {
+			if base.Quality[i] != got.Quality[i] {
+				t.Errorf("%s: quality[%d] = %v vs %v", name, i, base.Quality[i], got.Quality[i])
+			}
+		}
+	}
+	if len(base.Epochs) != len(got.Epochs) {
+		t.Errorf("%s: epoch count %d vs %d", name, len(base.Epochs), len(got.Epochs))
+		return
+	}
+	for i := range base.Epochs {
+		if base.Epochs[i] != got.Epochs[i] {
+			t.Errorf("%s: epoch %d differs:\nbaseline %+v\ngot      %+v",
+				name, i+1, withoutRows(base.Epochs[i]), withoutRows(got.Epochs[i]))
+		}
+	}
+}
+
+// withoutRows blanks the (long) delta-row renderings for readable failures.
+func withoutRows(e epochSummary) epochSummary {
+	e.InsertedRows, e.DeletedRows = "", ""
+	return e
+}
+
+// TestWorkersEquivalenceGrid runs the full design × strategy grid on a
+// selection query and compares Workers: 4 against the Workers: 1 baseline.
+func TestWorkersEquivalenceGrid(t *testing.T) {
+	const query = "SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 6000"
+	for _, design := range []Design{Loose, Tight} {
+		for _, strategy := range []Strategy{SBOO, SBRO, SBFO, Benefit} {
+			design, strategy := design, strategy
+			t.Run(fmt.Sprintf("%s/%s", design, strategy), func(t *testing.T) {
+				t.Parallel()
+				base := equivRun(t, design, strategy, query, 1)
+				if base.Counters.Enrichments == 0 {
+					t.Fatal("baseline ran no enrichments; grid case is vacuous")
+				}
+				par := equivRun(t, design, strategy, query, 4)
+				diffSummaries(t, "workers=4", base, par)
+			})
+		}
+	}
+}
+
+// TestWorkersEquivalenceJoin covers the join path (probe queries over two
+// aliases; the tight design's survivor join triggers lazy join-attribute
+// enrichment) at several worker counts.
+func TestWorkersEquivalenceJoin(t *testing.T) {
+	const query = "SELECT * FROM TweetData T1, State S WHERE T1.location = S.city AND S.state = 'California' AND T1.sentiment = 1 AND T1.TweetTime < 5000"
+	for _, design := range []Design{Loose, Tight} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			t.Parallel()
+			base := equivRun(t, design, SBFO, query, 1)
+			if base.Counters.Enrichments == 0 {
+				t.Fatal("baseline ran no enrichments; join case is vacuous")
+			}
+			for _, workers := range []int{2, 8} {
+				par := equivRun(t, design, SBFO, query, workers)
+				diffSummaries(t, fmt.Sprintf("workers=%d", workers), base, par)
+			}
+		})
+	}
+}
+
+// TestWorkersEquivalenceAggregate pins the aggregation view path: grouped
+// delta answers must also be order- and value-identical across worker counts.
+func TestWorkersEquivalenceAggregate(t *testing.T) {
+	const query = "SELECT sentiment, COUNT(*) FROM TweetData WHERE TweetTime < 6000 GROUP BY sentiment"
+	for _, design := range []Design{Loose, Tight} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			t.Parallel()
+			base := equivRun(t, design, SBFO, query, 1)
+			if base.Counters.Enrichments == 0 {
+				t.Fatal("baseline ran no enrichments; aggregate case is vacuous")
+			}
+			par := equivRun(t, design, SBFO, query, 4)
+			diffSummaries(t, "workers=4", base, par)
+		})
+	}
+}

@@ -163,6 +163,10 @@ func (ps *PlanSpace) Plan(mgr *enrich.Manager, strategy Strategy, budget time.Du
 	}
 	var plan []PlanItem
 	var cost time.Duration
+	// Guard against duplicate plan-space entries (probe queries can list the
+	// same (alias, tuple) twice): a PlanTable never carries the same triplet
+	// twice, which the parallel executor's dedup accounting relies on.
+	seen := make(map[tripletKey]bool)
 	for _, ei := range order {
 		if cost >= budget {
 			break
@@ -170,6 +174,11 @@ func (ps *PlanSpace) Plan(mgr *enrich.Manager, strategy Strategy, budget time.Du
 		e := ps.entries[ei]
 		items := ps.pickForEntry(mgr, e, strategy, rng)
 		for _, it := range items {
+			k := tripletKey{it.Alias, it.TID, it.Attr, it.FnID}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
 			fam := mgr.Family(it.Relation, it.Attr)
 			plan = append(plan, it)
 			cost += fam.Functions[it.FnID].AvgCost()
@@ -269,8 +278,10 @@ func (ps *PlanSpace) benefitOrder(mgr *enrich.Manager) []int {
 			}
 			var s float64 = 1
 			if st != nil {
-				if as := st.Get(e.TID, attr); as != nil {
-					s = stateEntropy(as, fam.Domain)
+				// OutputSnapshot reads under the table lock, so ranking stays
+				// race-free while epoch workers write state.
+				if snap := st.OutputSnapshot(e.TID, attr); snap != nil {
+					s = stateEntropy(&enrich.AttrState{Outputs: snap}, fam.Domain)
 				}
 			}
 			if s > best {

@@ -304,7 +304,7 @@ func TestBenefitOrderPrefersUncertainTuples(t *testing.T) {
 	// Tuple 1: partially enriched with a confident function output (low
 	// entropy). Tuple 2: untouched (entropy 1).
 	st := mgr.StateTable("TweetData")
-	if err := st.SetOutput(1, "sentiment", 0, []float64{0.98, 0.01, 0.01}); err != nil {
+	if _, err := st.SetOutput(1, "sentiment", 0, []float64{0.98, 0.01, 0.01}); err != nil {
 		t.Fatal(err)
 	}
 	_ = fi

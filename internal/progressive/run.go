@@ -3,6 +3,8 @@ package progressive
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sort"
 	"time"
 
 	"enrichdb/internal/engine"
@@ -53,6 +55,29 @@ type Config struct {
 	// MaxEpochs bounds the run (default 200).
 	MaxEpochs int
 	Seed      int64
+
+	// Rand is the run's random source, drawn on by the sampling strategies
+	// (SB(OO)/SB(RO) attribute and function choices, plan-space sampling).
+	// Nil derives a source from Seed, so two runs with equal Seeds replay
+	// the same sampling decisions — the reproducibility the equivalence
+	// tests and SB(RO) experiments rely on. The global RNG is never used.
+	Rand *rand.Rand
+
+	// Workers is the epoch execution width shared by both designs: the
+	// loose design enriches and writes back in parallel, the tight design
+	// evaluates planned rows concurrently. 0 defaults to GOMAXPROCS; 1
+	// executes sequentially. Workers > 1 produces byte-identical results to
+	// Workers: 1 (guaranteed by the manager's singleflight dedup and
+	// first-write-wins state semantics, and checked by the equivalence
+	// battery).
+	Workers int
+
+	// PerRowUDF disables the tight runtime's micro-batching, so every
+	// read_udf call pays InvokeOverhead individually — the paper's per-row
+	// UDF execution mode (7.72 vs 7.46 ms/tweet, §5.2.1). Off by default:
+	// concurrent read_udf calls covering the same (attr, function set)
+	// share one invocation payment.
+	PerRowUDF bool
 
 	// Quality, when set, is evaluated on the view's rows after every epoch
 	// (e.g. F1 against ground truth); it feeds the progressive score.
@@ -112,6 +137,11 @@ type Result struct {
 	TotalEnrichments int64
 	Overhead         Overheads
 
+	// UDFPayments/UDFCoalesced (tight design only): invocation-overhead
+	// payments made, and read_udf calls that rode along on another call's
+	// payment via micro-batching.
+	UDFPayments, UDFCoalesced int64
+
 	PlanSpaceBytes int64 // at setup
 	MaxPlanBytes   int64
 	ViewBytes      int64
@@ -131,10 +161,17 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.MaxEpochs <= 0 {
 		cfg.MaxEpochs = 200
 	}
-	if cfg.Enricher == nil {
-		cfg.Enricher = &loose.LocalEnricher{Mgr: cfg.Mgr}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	sched := enrich.NewScheduler(cfg.Workers)
+	if cfg.Enricher == nil {
+		cfg.Enricher = &loose.LocalEnricher{Mgr: cfg.Mgr, Workers: cfg.Workers}
+	}
+	rng := cfg.Rand
+	if rng == nil {
+		rng = rand.New(rand.NewSource(cfg.Seed + 7))
+	}
 
 	stmt, err := sqlparser.Parse(cfg.Query)
 	if err != nil {
@@ -183,6 +220,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		rt = tight.NewRuntime(cfg.DB, cfg.Mgr)
 		rt.InvokeOverhead = cfg.InvokeOverhead
+		rt.BatchUDF = !cfg.PerRowUDF
 	}
 
 	record := func() {
@@ -233,7 +271,7 @@ func Run(cfg Config) (*Result, error) {
 		execBefore := cfg.Mgr.Counters()
 		switch cfg.Design {
 		case Loose:
-			timing, err := runLooseEpoch(cfg, plan)
+			timing, err := runLooseEpoch(cfg, sched, plan)
 			if err != nil {
 				return nil, err
 			}
@@ -241,7 +279,7 @@ func Run(cfg Config) (*Result, error) {
 			rep.NetworkTime = timing.Network
 		case Tight:
 			enrichBefore := cfg.Mgr.Counters().EnrichTime
-			if err := runTightEpoch(cfg, a, rwa, rt, view, plan, ctx); err != nil {
+			if err := runTightEpoch(cfg, sched, a, rwa, rt, view, plan, ctx); err != nil {
 				return nil, err
 			}
 			rep.EnrichTime = cfg.Mgr.Counters().EnrichTime - enrichBefore
@@ -292,11 +330,12 @@ func Run(cfg Config) (*Result, error) {
 	res.TotalEnrichments = counters.Enrichments - countersBefore.Enrichments
 	res.Overhead.State = counters.StateUpdateTime - countersBefore.StateUpdateTime
 	if rt != nil {
-		udf := rt.CallTime - (counters.EnrichTime - countersBefore.EnrichTime)
+		udf := rt.CallTime() - (counters.EnrichTime - countersBefore.EnrichTime)
 		if udf < 0 {
 			udf = 0
 		}
 		res.Overhead.UDF = udf
+		res.UDFPayments, res.UDFCoalesced = rt.BatchStats()
 	}
 	return res, nil
 }
@@ -350,12 +389,25 @@ func deltasFromSnapshots(db *storage.DB, snaps map[[2]interface{}]*types.Tuple) 
 		}
 		out = append(out, ivm.TupleDelta{Relation: rel, Old: old, New: tbl.Get(old.ID)})
 	}
+	// The snapshot map iterates in random order; delta application order
+	// decides the view's row order (and the per-epoch delta answers), so sort
+	// by (relation, tuple) to keep every run — any worker count, any map seed
+	// — byte-identical.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relation != out[j].Relation {
+			return out[i].Relation < out[j].Relation
+		}
+		return out[i].Old.ID < out[j].Old.ID
+	})
 	return out
 }
 
 // runLooseEpoch executes the epoch's plan at the enrichment server and
-// writes state and determined values back (§3.3.3, loose).
-func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
+// writes state and determined values back (§3.3.3, loose). The enrichment
+// batch itself runs on the server's own pool; the DBMS-side determinization
+// and base-table write-back run on the epoch scheduler, one worker per
+// touched (relation, tuple, attribute).
+func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem) (loose.BatchTiming, error) {
 	var reqs []loose.Request
 	for _, it := range plan {
 		if cfg.Mgr.Enriched(it.Relation, it.TID, it.Attr, it.FnID) {
@@ -382,6 +434,7 @@ func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
 		attr string
 	}
 	touched := make(map[ta]bool)
+	var keys []ta // first-touch order, so write-back is deterministic
 	for _, r := range resps {
 		if r.Failed() {
 			// Best-effort: a failed request leaves its state bits unset, so
@@ -391,26 +444,34 @@ func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
 		if err := cfg.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
 			return timing, err
 		}
-		touched[ta{r.Relation, r.TID, r.Attr}] = true
+		k := ta{r.Relation, r.TID, r.Attr}
+		if !touched[k] {
+			touched[k] = true
+			keys = append(keys, k)
+		}
 	}
-	for k := range touched {
+	// Determinize and write back per touched attribute in parallel: each key
+	// owns a distinct (tuple, attr) slot, the state and base tables serialize
+	// their own writes, and Determine's cutoff re-executions dedup through
+	// the manager's singleflight.
+	err = sched.Do(len(keys), func(i int) error {
+		k := keys[i]
 		feature, err := featureOf(cfg.DB, k.rel, k.tid, k.attr)
 		if err != nil {
-			return timing, err
+			return err
 		}
 		v, err := cfg.Mgr.Determine(k.rel, k.tid, k.attr, feature)
 		if err != nil {
-			return timing, err
+			return err
 		}
 		tbl, err := cfg.DB.Table(k.rel)
 		if err != nil {
-			return timing, err
+			return err
 		}
-		if _, err := tbl.Update(k.tid, k.attr, v); err != nil {
-			return timing, err
-		}
-	}
-	return timing, nil
+		_, err = tbl.Update(k.tid, k.attr, v)
+		return err
+	})
+	return timing, err
 }
 
 // runTightEpoch evaluates the rewritten query over the epoch's planned
@@ -419,7 +480,14 @@ func runLooseEpoch(cfg Config, plan []PlanItem) (loose.BatchTiming, error) {
 // calls — and surviving rows are joined against the view's current inputs
 // under the rewritten (UDF-bearing, nested-loop) join conditions, enriching
 // join attributes lazily per pair.
-func runTightEpoch(cfg Config, a, rwa *engine.Analysis, rt *tight.Runtime, view *ivm.View, plan []PlanItem, _ *engine.ExecCtx) error {
+//
+// Selection rows are evaluated on the epoch scheduler: distinct tuples are
+// independent (the manager serializes state per tuple, read_udf invocations
+// micro-batch through the runtime's gate), the predicate tree is read-only
+// after Resolve, and each evaluation gets its own EvalCtx. Survivors are
+// collected in tuple-id order, so join input — and hence the enrichment work
+// the join triggers — is identical at every worker count.
+func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis, rt *tight.Runtime, view *ivm.View, plan []PlanItem, _ *engine.ExecCtx) error {
 	type af struct {
 		attr string
 		fn   int
@@ -465,8 +533,13 @@ func runTightEpoch(cfg Config, a, rwa *engine.Analysis, rt *tight.Runtime, view 
 			return err
 		}
 		rs := expr.SchemaForTable(tm.Alias, tm.Schema)
-		var rows []*expr.Row
+		tids := make([]int64, 0, len(tidMap))
 		for tid := range tidMap {
+			tids = append(tids, tid)
+		}
+		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+		var rows []*expr.Row
+		for _, tid := range tids {
 			if tu := tbl.Get(tid); tu != nil {
 				rows = append(rows, expr.RowFromTuple(rs, tu))
 			}
@@ -477,13 +550,22 @@ func runTightEpoch(cfg Config, a, rwa *engine.Analysis, rt *tight.Runtime, view 
 		if err := selPred.Resolve(rs); err != nil {
 			return err
 		}
-		var survivors []*expr.Row
-		for _, r := range rows {
-			tv, err := expr.EvalPred(ectx.Eval, selPred, r)
-			if err != nil {
-				return err
+		keep := make([]bool, len(rows))
+		err = sched.Do(len(rows), func(i int) error {
+			ev := &expr.EvalCtx{Runtime: rt}
+			tv, evalErr := expr.EvalPred(ev, selPred, rows[i])
+			if evalErr != nil {
+				return evalErr
 			}
-			if tv == expr.True {
+			keep[i] = tv == expr.True
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		var survivors []*expr.Row
+		for i, r := range rows {
+			if keep[i] {
 				survivors = append(survivors, r)
 			}
 		}

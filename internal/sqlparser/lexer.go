@@ -114,6 +114,21 @@ func lex(input string) ([]token, error) {
 				}
 				j++
 			}
+			// Optional exponent ([eE][+-]?digits) — strconv accepts it, and
+			// Value.String renders small floats in scientific notation, so
+			// printed statements must lex back.
+			if j < n && (input[j] == 'e' || input[j] == 'E') {
+				k := j + 1
+				if k < n && (input[k] == '+' || input[k] == '-') {
+					k++
+				}
+				if k < n && input[k] >= '0' && input[k] <= '9' {
+					for k < n && input[k] >= '0' && input[k] <= '9' {
+						k++
+					}
+					j = k
+				}
+			}
 			toks = append(toks, token{tokNumber, input[i:j], i})
 			i = j
 		case isIdentStart(rune(c)):

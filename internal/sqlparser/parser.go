@@ -524,7 +524,7 @@ func (p *parser) parseOperand() (expr.Expr, error) {
 		return p.parseColRef()
 	case tokNumber:
 		p.next()
-		if strings.Contains(t.text, ".") {
+		if strings.ContainsAny(t.text, ".eE") {
 			f, err := strconv.ParseFloat(t.text, 64)
 			if err != nil {
 				return nil, p.errf("bad number %q: %v", t.text, err)

@@ -244,7 +244,9 @@ func (v Value) String() string {
 	case KindFloat:
 		return strconv.FormatFloat(v.f, 'g', -1, 64)
 	case KindString:
-		return "'" + v.s + "'"
+		// Escape embedded quotes SQL-style so the rendering re-parses (the
+		// lexer reads '' inside a literal as one quote).
+		return "'" + strings.ReplaceAll(v.s, "'", "''") + "'"
 	case KindVector:
 		parts := make([]string, 0, len(v.vec))
 		for _, f := range v.vec {
