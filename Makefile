@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race bench fuzz tidy
+.PHONY: check vet build test race test-race bench fuzz tidy staticcheck trace-demo
 
-# Tier-1 gate: everything a PR must keep green.
-check: vet build test race
+# Tier-1 gate: everything a PR must keep green. staticcheck rides along but
+# skips itself when the binary is absent.
+check: vet staticcheck build test race
 
 vet:
 	$(GO) vet ./...
@@ -15,10 +16,11 @@ test:
 	$(GO) test ./...
 
 # Short race pass over the concurrency-heavy packages: the enrichment
-# worker pool, the RPC transport, shared enrichment state, and the chaos
-# tests that hammer all three.
+# worker pool, the RPC transport, shared enrichment state, the telemetry
+# registry/tracer they all publish into, and the chaos tests that hammer
+# them.
 race:
-	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/...
+	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/...
 
 # Full concurrency gate: vet, then the concurrency/chaos/equivalence suites
 # under the race detector, twice (-count=2 defeats the test cache and shakes
@@ -33,7 +35,8 @@ test-race: vet
 		./internal/faultinject/... \
 		./internal/tight/... \
 		./internal/ivm/... \
-		./internal/progressive/...
+		./internal/progressive/... \
+		./internal/telemetry/...
 
 # Short fuzz pass over the SQL parser (no panics; print/parse round-trip).
 fuzz:
@@ -44,3 +47,18 @@ bench:
 
 tidy:
 	gofmt -l -w .
+
+# Static analysis beyond vet. Skips gracefully when the staticcheck binary
+# is not installed (it is not vendored and must not be fetched by CI).
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Observability demo: run the quickstart with span tracing and pretty-print
+# the resulting trace, grouped by epoch.
+trace-demo:
+	$(GO) run ./examples/quickstart -trace /tmp/enrichdb-trace.jsonl
+	$(GO) run ./cmd/tracefmt /tmp/enrichdb-trace.jsonl

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	benchrunner [-exp all|1a|1b|1c|1d|1e|2|3|4|5] [-scale small|medium]
+//	            [-metrics] [-trace file]
+//
+// -metrics appends a uniform telemetry counter table per experiment (the
+// merged snapshot of every database the experiment built); -trace writes one
+// JSON span per pipeline phase to the given file (pretty-print with
+// cmd/tracefmt).
 package main
 
 import (
@@ -16,12 +22,38 @@ import (
 	"time"
 
 	"enrichdb/internal/bench"
+	"enrichdb/internal/telemetry"
 )
+
+// envs collects every database the current experiment built, so its merged
+// telemetry snapshot can be printed as one uniform counter table.
+var envs []*bench.Env
+
+// tracer is shared by all envs when -trace is set.
+var tracer *telemetry.Tracer
+
+var showMetrics bool
 
 func main() {
 	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 1f, 2, 3, 4, 5, ablation, ingest")
 	scaleFlag := flag.String("scale", "small", "dataset scale: small or medium")
+	metricsFlag := flag.Bool("metrics", true, "print a merged telemetry counter table per experiment")
+	traceFlag := flag.String("trace", "", "write JSONL spans to this file")
 	flag.Parse()
+	showMetrics = *metricsFlag
+
+	if *traceFlag != "" {
+		f, err := os.Create(*traceFlag)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = telemetry.NewTracer(telemetry.NewJSONLSink(f))
+	}
+	bench.OnEnv = func(e *bench.Env) {
+		e.Tracer = tracer
+		envs = append(envs, e)
+	}
 
 	var scale bench.Scale
 	switch *scaleFlag {
@@ -152,6 +184,7 @@ func main() {
 }
 
 func run(name string, fn func() ([]*bench.Table, error)) {
+	envs = envs[:0]
 	fmt.Println(strings.Repeat("-", 72))
 	fmt.Printf("%s\n\n", name)
 	tables, err := fn()
@@ -161,4 +194,21 @@ func run(name string, fn func() ([]*bench.Table, error)) {
 	for _, t := range tables {
 		t.Fprint(os.Stdout)
 	}
+	if showMetrics && len(envs) > 0 {
+		// One uniform counter table per experiment: the merged snapshot of
+		// every database instance the experiment built.
+		var merged telemetry.Snapshot
+		for _, e := range envs {
+			merged.Merge(e.Telemetry().Snapshot())
+		}
+		fmt.Printf("telemetry (%d envs):\n%s\n", len(envs), indent(merged.String(), "  "))
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = prefix + l
+	}
+	return strings.Join(lines, "\n")
 }

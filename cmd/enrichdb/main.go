@@ -6,9 +6,13 @@
 // Usage:
 //
 //	enrichdb [-design loose|tight|plain] [-tweets N] [-images N] [-q "SELECT ..."]
+//	         [-trace file] [-metrics]
 //
-// Without -q it reads queries from stdin, one per line. Special inputs:
-// ".help", ".stats", ".explain <query>", ".design <name>", ".quit".
+// -trace writes one JSON span per pipeline phase to the given file (use
+// cmd/tracefmt to pretty-print it); -metrics prints the telemetry snapshot
+// on exit. Without -q it reads queries from stdin, one per line. Special
+// inputs: ".help", ".stats", ".metrics", ".explain <query>",
+// ".design <name>", ".quit".
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"enrichdb/internal/bench"
 	"enrichdb/internal/dataset"
 	"enrichdb/internal/expr"
+	"enrichdb/internal/telemetry"
 )
 
 func main() {
@@ -30,6 +35,8 @@ func main() {
 	tweets := flag.Int("tweets", 2000, "TweetData size")
 	images := flag.Int("images", 800, "MultiPie size")
 	query := flag.String("q", "", "single query to run (otherwise read stdin)")
+	traceFile := flag.String("trace", "", "write JSONL spans to this file")
+	metrics := flag.Bool("metrics", false, "print the telemetry snapshot on exit")
 	flag.Parse()
 
 	scale := bench.Small()
@@ -40,6 +47,18 @@ func main() {
 	env, err := bench.NewEnv(scale, dataset.SingleFunctionSpecs())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		env.Tracer = telemetry.NewTracer(telemetry.NewJSONLSink(f))
+		fmt.Fprintf(os.Stderr, "tracing spans to %s\n", *traceFile)
+	}
+	if *metrics {
+		defer func() { fmt.Print(env.Telemetry().Snapshot().String()) }()
 	}
 	fmt.Fprintf(os.Stderr, "ready. relations: TweetData(topic, sentiment derived), MultiPie(gender, expression derived), State\n")
 
@@ -73,7 +92,7 @@ func (r *runner) command(line string) (quit bool) {
 	case line == ".quit" || line == ".exit":
 		return true
 	case line == ".help":
-		fmt.Println("enter a SELECT query, or: .design loose|tight|plain, .explain <query>, .paper, .stats, .quit")
+		fmt.Println("enter a SELECT query, or: .design loose|tight|plain, .explain <query>, .paper, .stats, .metrics, .quit")
 	case line == ".paper":
 		// Run the paper's nine query templates under the current design.
 		scale := bench.Small()
@@ -90,6 +109,8 @@ func (r *runner) command(line string) (quit bool) {
 		c := r.env.Mgr.Counters()
 		fmt.Printf("enrichments=%d skipped=%d re-executions=%d state=%dB enrich-time=%v\n",
 			c.Enrichments, c.Skipped, c.ReExecutions, r.env.Mgr.StateSizeBytes(), c.EnrichTime.Round(time.Millisecond))
+	case line == ".metrics":
+		fmt.Print(r.env.Telemetry().Snapshot().String())
 	case strings.HasPrefix(line, ".design "):
 		d := strings.TrimSpace(strings.TrimPrefix(line, ".design "))
 		if d != "loose" && d != "tight" && d != "plain" {

@@ -7,7 +7,11 @@
 // Usage:
 //
 //	enrichserver [-addr 127.0.0.1:7707] [-seed 1] [-tweets N] [-images N]
-//	             [-workers W] [-maxconns N] [-drain 5s]
+//	             [-workers W] [-maxconns N] [-drain 5s] [-metrics addr]
+//
+// -metrics starts an HTTP observability endpoint on the given address:
+// /metrics serves the server's telemetry snapshot (JSON, or plain text with
+// ?format=text) and /debug/pprof/ exposes the standard Go profiles.
 //
 // The server shuts down cleanly on SIGINT or SIGTERM (the normal container
 // stop signal): it stops accepting connections, drains in-flight batches up
@@ -17,6 +21,8 @@ package main
 import (
 	"flag"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -26,6 +32,7 @@ import (
 	"enrichdb/internal/dataset"
 	"enrichdb/internal/loose"
 	"enrichdb/internal/loose/remote"
+	"enrichdb/internal/telemetry"
 )
 
 func main() {
@@ -36,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel enrichment workers (0 sequential, -1 GOMAXPROCS)")
 	maxConns := flag.Int("maxconns", 0, "max concurrent client connections (0 unlimited)")
 	drain := flag.Duration("drain", remote.DefaultDrainTimeout, "shutdown drain timeout for in-flight batches")
+	metricsAddr := flag.String("metrics", "", "HTTP address for /metrics and /debug/pprof (empty disables)")
 	flag.Parse()
 
 	scale := bench.Small()
@@ -52,11 +60,28 @@ func main() {
 	srv, bound, err := remote.ServeEnricher(*addr, enricher, remote.ServerOptions{
 		MaxConns:     *maxConns,
 		DrainTimeout: *drain,
+		Telemetry:    env.Mgr.Telemetry(),
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("enrichment server listening on %s", bound)
+
+	if *metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", telemetry.Handler(env.Mgr.Telemetry()))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("metrics endpoint on http://%s/metrics (pprof under /debug/pprof/)", *metricsAddr)
+			if err := http.ListenAndServe(*metricsAddr, mux); err != nil {
+				log.Printf("metrics endpoint: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

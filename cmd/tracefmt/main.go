@@ -1,0 +1,36 @@
+// Command tracefmt pretty-prints a JSONL span trace produced by the -trace
+// flag of cmd/enrichdb, cmd/benchrunner or the examples: spans are grouped
+// by epoch, worker-tagged, and annotated with their attributes.
+//
+// Usage:
+//
+//	tracefmt trace.jsonl        # or: tracefmt < trace.jsonl
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"enrichdb/internal/telemetry"
+)
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		if os.Args[1] == "-h" || os.Args[1] == "--help" {
+			fmt.Fprintln(os.Stderr, "usage: tracefmt [trace.jsonl]")
+			os.Exit(2)
+		}
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	if err := telemetry.FormatSpans(in, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}

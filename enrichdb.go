@@ -32,6 +32,7 @@ import (
 	"enrichdb/internal/ml"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
 	"enrichdb/internal/types"
 )
@@ -86,6 +87,7 @@ type DB struct {
 
 	enricher loose.Enricher
 	servers  []*remote.Server
+	tracer   *telemetry.Tracer
 
 	// TightInvokeOverhead adds an artificial per-UDF-call cost to the tight
 	// design, emulating a heavier DBMS's per-row UDF invocation overhead.
@@ -301,7 +303,8 @@ func (db *DB) ServeEnrichment(addr string) (string, error) {
 func (db *DB) ServeEnrichmentConfig(addr string, cfg EnrichmentServerConfig) (string, error) {
 	srv, bound, err := remote.ServeEnricher(addr,
 		&loose.LocalEnricher{Mgr: db.mgr, Workers: cfg.Workers},
-		remote.ServerOptions{MaxConns: cfg.MaxConns, DrainTimeout: cfg.DrainTimeout})
+		remote.ServerOptions{MaxConns: cfg.MaxConns, DrainTimeout: cfg.DrainTimeout,
+			Telemetry: db.mgr.Telemetry()})
 	if err != nil {
 		return "", err
 	}
@@ -340,6 +343,7 @@ func (db *DB) ConnectEnrichmentServerConfig(addr string, cfg EnrichmentClientCon
 	client, err := remote.DialOptions(addr, remote.Options{
 		CallTimeout: cfg.CallTimeout,
 		MaxRetries:  cfg.MaxRetries,
+		Telemetry:   db.mgr.Telemetry(),
 	})
 	if err != nil {
 		return err
@@ -371,6 +375,18 @@ func (db *DB) Close() error {
 	return nil
 }
 
+// Telemetry returns the database's metrics registry — the single place all
+// components publish counters to: enrichment execution (enrich.*), the tight
+// runtime's UDF accounting (tight.*), the loose enrichment path (loose.*,
+// remote.*), executor stats (engine.*), view maintenance (ivm.*) and the
+// progressive epoch loop (epoch.*). Snapshot it for a consistent read.
+func (db *DB) Telemetry() *telemetry.Registry { return db.mgr.Telemetry() }
+
+// SetTracer installs a structured-span tracer on the database: both designs
+// and the progressive pipeline emit spans through it. Nil (the default)
+// disables tracing at zero cost.
+func (db *DB) SetTracer(t *telemetry.Tracer) { db.tracer = t }
+
 // Stats returns cumulative enrichment counters.
 func (db *DB) Stats() EnrichmentStats {
 	c := db.mgr.Counters()
@@ -401,10 +417,10 @@ func (db *DB) analyzeSQL(query string) (*engine.Analysis, error) {
 
 // looseDriver builds the current loose driver.
 func (db *DB) looseDriver() *loose.Driver {
-	return &loose.Driver{DB: db.store, Mgr: db.mgr, Enricher: db.enricher}
+	return &loose.Driver{DB: db.store, Mgr: db.mgr, Enricher: db.enricher, Tracer: db.tracer}
 }
 
 // tightDriver builds the current tight driver.
 func (db *DB) tightDriver() *tight.Driver {
-	return &tight.Driver{DB: db.store, Mgr: db.mgr, InvokeOverhead: db.TightInvokeOverhead}
+	return &tight.Driver{DB: db.store, Mgr: db.mgr, InvokeOverhead: db.TightInvokeOverhead, Tracer: db.tracer}
 }

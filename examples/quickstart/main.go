@@ -1,18 +1,35 @@
 // Quickstart: define a relation with a derived attribute, register an
 // enrichment function, and query it — enrichment happens at query time, not
-// at ingestion.
+// at ingestion. Pass -trace trace.jsonl to record structured spans for every
+// pipeline phase (pretty-print them with cmd/tracefmt).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"time"
 
 	"enrichdb"
+	"enrichdb/internal/telemetry"
 )
 
 func main() {
+	traceFile := flag.String("trace", "", "write JSONL spans to this file")
+	flag.Parse()
+
 	db := enrichdb.Open()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		db.SetTracer(telemetry.NewTracer(telemetry.NewJSONLSink(f)))
+		fmt.Fprintf(os.Stderr, "tracing spans to %s\n", *traceFile)
+	}
 
 	// A Messages relation: `category` is derived — NULL at ingestion, filled
 	// by an ML classifier over the `embedding` column when a query needs it.
@@ -90,4 +107,31 @@ func main() {
 	}
 	fmt.Printf("tight:  %d rows, %d enrichments, %d UDF calls\n",
 		res3.Len(), res3.Enrichments, res3.UDFInvocations)
+
+	// Late-arriving data lands un-enriched; a progressive run refines the
+	// answer epoch by epoch as enrichment catches up, and OnEpoch observes
+	// each refinement while the run is still in progress.
+	for i := 1001; i <= 1400; i++ {
+		if _, err := db.Insert("Messages", int64(i),
+			enrichdb.Int(int64(i)),
+			enrichdb.Vector(sample(r.Intn(3))),
+			enrichdb.String(channels[i%2]),
+			enrichdb.Null,
+		); err != nil {
+			log.Fatal(err)
+		}
+	}
+	res4, err := db.QueryProgressive("SELECT id FROM Messages WHERE category = 1",
+		enrichdb.ProgressiveOptions{
+			EpochBudget: 100 * time.Microsecond,
+			MaxEpochs:   8,
+			OnEpoch: func(e enrichdb.Epoch) {
+				fmt.Printf("  epoch %d: +%d/-%d rows, %d enrichments\n",
+					e.N, e.Inserted, e.Deleted, e.Enrichments)
+			},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("progressive: %d rows after %d epochs\n", res4.Len(), len(res4.Epochs))
 }

@@ -22,6 +22,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/loose"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
 )
 
@@ -55,7 +56,21 @@ type Env struct {
 	Scale Scale
 	Data  *dataset.Data
 	Mgr   *enrich.Manager
+	// Tracer, when set, is handed to the drivers this env builds so their
+	// phase spans land in one trace.
+	Tracer *telemetry.Tracer
 }
+
+// Telemetry returns the env's metrics registry (the manager's): every
+// component that ran against this env published its counters there.
+func (e *Env) Telemetry() *telemetry.Registry { return e.Mgr.Telemetry() }
+
+// OnEnv, when non-nil, observes every Env that NewEnv builds. The
+// benchrunner installs it to collect the envs each experiment creates and
+// merge their telemetry snapshots into one uniform counter table; it can
+// also hand each env a shared Tracer. Set it before running experiments —
+// it is read without synchronization.
+var OnEnv func(*Env)
 
 // NewEnv generates a dataset and trains/registers the given families. Envs
 // built from the same scale and specs are identical, so loose and tight runs
@@ -75,7 +90,11 @@ func NewEnv(s Scale, specs map[[2]string][]dataset.ModelSpec) (*Env, error) {
 	if err := d.RegisterFamilies(mgr, specs); err != nil {
 		return nil, err
 	}
-	return &Env{Scale: s, Data: d, Mgr: mgr}, nil
+	env := &Env{Scale: s, Data: d, Mgr: mgr}
+	if OnEnv != nil {
+		OnEnv(env)
+	}
+	return env, nil
 }
 
 func withExtraCost(specs map[[2]string][]dataset.ModelSpec, cost time.Duration) map[[2]string][]dataset.ModelSpec {
@@ -93,12 +112,16 @@ func withExtraCost(specs map[[2]string][]dataset.ModelSpec, cost time.Duration) 
 
 // LooseDriver builds a loose driver over the env (in-process server).
 func (e *Env) LooseDriver() *loose.Driver {
-	return loose.NewDriver(e.Data.DB, e.Mgr)
+	d := loose.NewDriver(e.Data.DB, e.Mgr)
+	d.Tracer = e.Tracer
+	return d
 }
 
 // TightDriver builds a tight driver over the env.
 func (e *Env) TightDriver() *tight.Driver {
-	return tight.NewDriver(e.Data.DB, e.Mgr)
+	d := tight.NewDriver(e.Data.DB, e.Mgr)
+	d.Tracer = e.Tracer
+	return d
 }
 
 // Queries instantiates the paper's nine query templates (Table 6) against

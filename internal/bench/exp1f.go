@@ -64,6 +64,7 @@ func Exp1fWorkers(s Scale, workerCounts []int) (*Table, error) {
 				Workers:        workers,
 				InvokeOverhead: invokeOverhead,
 				Quality:        quality,
+				Tracer:         env.Tracer,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("%s workers=%d: %w", design, workers, err)

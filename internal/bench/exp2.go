@@ -73,6 +73,7 @@ func runProgressive(s Scale, specs map[[2]string][]dataset.ModelSpec, design pro
 		MaxEpochs:   maxEpochs,
 		Seed:        s.Seed,
 		Quality:     quality,
+		Tracer:      env.Tracer,
 	})
 }
 

@@ -78,7 +78,7 @@ func Exp4Overhead(s Scale) (*Table, error) {
 		Design: progressive.Loose, Query: q7, DB: env.Data.DB, Mgr: env.Mgr,
 		Enricher: &loose.LocalEnricher{Mgr: env.Mgr},
 		Strategy: progressive.SBFO, EpochBudget: 200 * time.Microsecond, MaxEpochs: 400,
-		Seed: sc.Seed, Quality: quality, Recompute: true,
+		Seed: sc.Seed, Quality: quality, Recompute: true, Tracer: env.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -126,6 +126,7 @@ func Exp4WorkersOverhead(s Scale, workerCounts []int) (*Table, error) {
 			Workers:        workers,
 			InvokeOverhead: time.Millisecond,
 			Quality:        quality,
+			Tracer:         env.Tracer,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("workers=%d: %w", workers, err)
@@ -207,7 +208,7 @@ func Exp5Storage(s Scale) (*Table, *Table, error) {
 			Design: progressive.Loose, Query: q3, DB: env.Data.DB, Mgr: env.Mgr,
 			Enricher: &loose.LocalEnricher{Mgr: env.Mgr},
 			Strategy: progressive.SBFO, EpochBudget: progressiveBudget, MaxEpochs: progressiveEpochs,
-			Seed: sc.Seed, Quality: quality,
+			Seed: sc.Seed, Quality: quality, Tracer: env.Tracer,
 		})
 		if err != nil {
 			return nil, nil, err

@@ -21,6 +21,22 @@ type Stats struct {
 	IndexScans  int64
 }
 
+// Publish adds the collected counters onto a telemetry registry under the
+// engine.* names, so per-query executor stats roll up into the system-wide
+// snapshot. The engine package stays telemetry-free: callers (loose/tight
+// drivers, the progressive executor) pass the registry's counters through
+// this narrow adding interface. A nil adder is a no-op.
+func (s *Stats) Publish(add func(name string, delta int64)) {
+	if s == nil || add == nil {
+		return
+	}
+	add("engine.rows_scanned", s.RowsScanned)
+	add("engine.join_pairs", s.JoinPairs)
+	add("engine.hash_joins", s.HashJoins)
+	add("engine.nl_joins", s.NLJoins)
+	add("engine.index_scans", s.IndexScans)
+}
+
 // ExecCtx carries runtime services through plan execution.
 type ExecCtx struct {
 	Eval  *expr.EvalCtx

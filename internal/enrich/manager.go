@@ -3,9 +3,9 @@ package enrich
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/types"
 )
 
@@ -47,12 +47,19 @@ type Manager struct {
 	flightMu sync.Mutex
 	inflight map[tripletID]chan struct{}
 
-	enrichments  atomic.Int64
-	skipped      atomic.Int64
-	reExecutions atomic.Int64
-	reExecNanos  atomic.Int64
-	stateNanos   atomic.Int64
-	enrichNanos  atomic.Int64
+	// The activity counters live on the manager's telemetry registry, which
+	// acts as the metrics hub for everything composed around this database
+	// (the tight runtime, the loose enrichers, the IVM views, the
+	// progressive executor all publish into it). The hot-path cost is one
+	// atomic add per event, identical to the plain atomics these replaced.
+	reg          *telemetry.Registry
+	enrichments  *telemetry.Counter
+	skipped      *telemetry.Counter
+	reExecutions *telemetry.Counter
+	reExecNanos  *telemetry.Counter
+	stateNanos   *telemetry.Counter
+	enrichNanos  *telemetry.Counter
+	latency      *telemetry.Histogram
 }
 
 // tripletID identifies one enrichment execution unit.
@@ -63,14 +70,38 @@ type tripletID struct {
 	fnID     int
 }
 
-// NewManager returns an empty manager.
+// NewManager returns an empty manager with its own telemetry registry.
 func NewManager() *Manager {
-	return &Manager{
-		families: make(map[string]map[string]*Family),
-		states:   make(map[string]*StateTable),
-		inflight: make(map[tripletID]chan struct{}),
-	}
+	return NewManagerWith(telemetry.NewRegistry())
 }
+
+// NewManagerWith returns an empty manager publishing onto the given registry
+// (nil falls back to a fresh one — the counters must always count, since
+// Counters() backs the paper's experiment tables).
+func NewManagerWith(reg *telemetry.Registry) *Manager {
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	m := &Manager{
+		families:     make(map[string]map[string]*Family),
+		states:       make(map[string]*StateTable),
+		inflight:     make(map[tripletID]chan struct{}),
+		reg:          reg,
+		enrichments:  reg.Counter("enrich.executions"),
+		skipped:      reg.Counter("enrich.skipped"),
+		reExecutions: reg.Counter("enrich.reexecutions"),
+		reExecNanos:  reg.Counter("enrich.reexec_ns"),
+		stateNanos:   reg.Counter("enrich.state_update_ns"),
+		enrichNanos:  reg.Counter("enrich.exec_ns"),
+		latency:      reg.Histogram("enrich.latency_ms", telemetry.LatencyBucketsMs),
+	}
+	reg.GaugeFunc("enrich.state_bytes", m.StateSizeBytes)
+	return m
+}
+
+// Telemetry returns the manager's metrics registry — the unified snapshot
+// point for every component wired to this database.
+func (m *Manager) Telemetry() *telemetry.Registry { return m.reg }
 
 // Register attaches a family to its relation, creating the relation's state
 // table on first use. All families of a relation must be registered before
@@ -183,7 +214,9 @@ func (m *Manager) Execute(relation string, tid int64, attr string, fnID int, fea
 	}
 	runStart := time.Now()
 	probs := fam.Functions[fnID].Run(feature)
-	m.enrichNanos.Add(int64(time.Since(runStart)))
+	elapsed := time.Since(runStart)
+	m.enrichNanos.AddDuration(elapsed)
+	m.latency.ObserveDuration(elapsed)
 	m.enrichments.Add(1)
 	start := time.Now()
 	_, err := st.SetOutput(tid, attr, fnID, probs)
@@ -297,12 +330,12 @@ func (m *Manager) ResetTuple(relation string, tid int64) {
 // Counters returns a snapshot of the activity counters.
 func (m *Manager) Counters() Counters {
 	return Counters{
-		Enrichments:     m.enrichments.Load(),
-		Skipped:         m.skipped.Load(),
-		ReExecutions:    m.reExecutions.Load(),
-		ReExecTime:      time.Duration(m.reExecNanos.Load()),
-		StateUpdateTime: time.Duration(m.stateNanos.Load()),
-		EnrichTime:      time.Duration(m.enrichNanos.Load()),
+		Enrichments:     m.enrichments.Value(),
+		Skipped:         m.skipped.Value(),
+		ReExecutions:    m.reExecutions.Value(),
+		ReExecTime:      m.reExecNanos.Duration(),
+		StateUpdateTime: m.stateNanos.Duration(),
+		EnrichTime:      m.enrichNanos.Duration(),
 	}
 }
 
@@ -314,6 +347,7 @@ func (m *Manager) ResetCounters() {
 	m.reExecNanos.Store(0)
 	m.stateNanos.Store(0)
 	m.enrichNanos.Store(0)
+	m.latency.Reset()
 }
 
 // StateSizeBytes sums the size of every relation's state table.

@@ -3,6 +3,8 @@ package enrich
 import (
 	"runtime"
 	"sync"
+
+	"enrichdb/internal/telemetry"
 )
 
 // Scheduler is the shared worker pool both designs use to execute epoch work
@@ -78,6 +80,58 @@ func (s *Scheduler) Do(n int, fn func(i int) error) error {
 				}
 			}
 		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return firstErr
+}
+
+// DoTraced is Do with per-worker tracing: each worker emits one `name` span
+// tagged with its worker ID, the epoch, and the number of items it handled.
+// With tracing disabled (nil tracer) it is exactly Do — the span calls
+// vanish on the nil fast path.
+func (s *Scheduler) DoTraced(tr *telemetry.Tracer, name string, epoch, n int, fn func(i int) error) error {
+	if !tr.Enabled() || n <= 0 {
+		return s.Do(n, fn)
+	}
+	workers := s.Workers()
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Same in-order, same-goroutine execution as Do's sequential path.
+		sp := tr.Start(name).Epoch(epoch).Worker(0).Int("items", int64(n))
+		err := s.Do(n, fn)
+		sp.End()
+		return err
+	}
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+		next     = make(chan int)
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			sp := tr.Start(name).Epoch(epoch).Worker(worker)
+			var items int64
+			for i := range next {
+				items++
+				if err := fn(i); err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+				}
+			}
+			sp.Int("items", items).End()
+		}(w)
 	}
 	for i := 0; i < n; i++ {
 		next <- i

@@ -19,11 +19,13 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"enrichdb/internal/engine"
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/types"
 )
 
@@ -88,6 +90,25 @@ type View struct {
 
 	// Aggregation result: per-group accumulators.
 	groups map[string]*groupState
+
+	// Maintenance counters; nil (the default) discards. SetTelemetry wires
+	// them onto a registry.
+	applies      *telemetry.Counter // ivm.applies: Apply batches processed
+	rowsInserted *telemetry.Counter // ivm.rows_inserted: view-level delta inserts
+	rowsDeleted  *telemetry.Counter // ivm.rows_deleted: view-level delta deletes
+	applyNanos   *telemetry.Counter // ivm.apply_ns: wall-clock inside Apply
+}
+
+// SetTelemetry publishes the view's maintenance counters (ivm.applies,
+// ivm.rows_inserted, ivm.rows_deleted, ivm.apply_ns) onto reg. Call before
+// concurrent use; a nil registry leaves the counters discarding.
+func (v *View) SetTelemetry(reg *telemetry.Registry) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.applies = reg.Counter("ivm.applies")
+	v.rowsInserted = reg.Counter("ivm.rows_inserted")
+	v.rowsDeleted = reg.Counter("ivm.rows_deleted")
+	v.applyNanos = reg.Counter("ivm.apply_ns")
 }
 
 type spjEntry struct {
@@ -187,6 +208,19 @@ func New(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) (*View, error)
 func (v *View) Apply(ctx *engine.ExecCtx, deltas []TupleDelta) (*Delta, error) {
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	start := time.Now()
+	d, err := v.apply(ctx, deltas)
+	v.applyNanos.AddDuration(time.Since(start))
+	if err == nil && d != nil {
+		v.applies.Inc()
+		v.rowsInserted.Add(int64(len(d.Inserted)))
+		v.rowsDeleted.Add(int64(len(d.Deleted)))
+	}
+	return d, err
+}
+
+// apply is Apply's body; the caller holds v.mu.
+func (v *View) apply(ctx *engine.ExecCtx, deltas []TupleDelta) (*Delta, error) {
 	if ctx == nil {
 		ctx = engine.NewExecCtx()
 	}

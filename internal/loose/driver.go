@@ -9,6 +9,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 )
 
 // Timing breaks a loose query execution into the components of Table 11.
@@ -69,6 +70,9 @@ type Driver struct {
 	// Enricher is the enrichment server (local or remote). Defaults to a
 	// LocalEnricher over Mgr.
 	Enricher Enricher
+	// Tracer, when non-nil, emits one span per phase: loose.probe,
+	// loose.enrich, loose.writeback, loose.execute.
+	Tracer *telemetry.Tracer
 }
 
 // NewDriver builds a loose driver with an in-process enrichment server.
@@ -97,10 +101,13 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 
 	// Phase 1: probe queries identify the minimal enrichment set.
 	t0 := time.Now()
+	spProbe := d.Tracer.Start("loose.probe")
 	probes, err := GenerateProbes(a, d.DB, d.Mgr, ctx)
 	if err != nil {
+		spProbe.Str("error", err.Error()).End()
 		return nil, err
 	}
+	spProbe.Int("probes", int64(len(probes))).End()
 	res.Timing.Probe = time.Since(t0)
 
 	// Phase 2: build the batch of (tuple, attr, function) requests — every
@@ -119,7 +126,9 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	// attributes instead of failing the query, and the failure counts are
 	// surfaced so callers can see the answer is partial and retry.
 	if len(reqs) > 0 {
+		spEnrich := d.Tracer.Start("loose.enrich").Int("requests", int64(len(reqs)))
 		resps, timing, err := d.Enricher.EnrichBatch(reqs)
+		spEnrich.End()
 		res.Timing.Enrich = timing.Compute
 		res.Timing.Network = timing.Network
 		if err != nil {
@@ -139,27 +148,35 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 				ok = append(ok, r)
 			}
 			t1 := time.Now()
+			spWB := d.Tracer.Start("loose.writeback").Int("responses", int64(len(ok)))
 			if err := d.WriteBack(ok); err != nil {
+				spWB.Str("error", err.Error()).End()
 				return nil, err
 			}
+			spWB.End()
 			res.Timing.DBMS += time.Since(t1)
 		}
 	}
 
 	// Phase 4: execute the original query.
 	t2 := time.Now()
+	spExec := d.Tracer.Start("loose.execute")
 	plan, err := engine.Build(a, d.DB)
 	if err != nil {
+		spExec.Str("error", err.Error()).End()
 		return nil, err
 	}
 	rows, err := plan.Execute(ctx)
 	if err != nil {
+		spExec.Str("error", err.Error()).End()
 		return nil, err
 	}
+	spExec.Int("rows", int64(len(rows))).End()
 	res.Timing.DBMS += time.Since(t2)
 	res.Rows = rows
 	res.Enrichments = d.Mgr.Counters().Enrichments - before
 	res.Stats = *ctx.Stats
+	ctx.Stats.Publish(d.Mgr.Telemetry().Add)
 	return res, nil
 }
 

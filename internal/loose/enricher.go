@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"enrichdb/internal/enrich"
+	"enrichdb/internal/telemetry"
 )
 
 // Request asks the enrichment server to run one enrichment function on one
@@ -74,11 +75,31 @@ type LocalEnricher struct {
 	// Workers is the parallel execution width; 0 or 1 runs sequentially,
 	// negative uses GOMAXPROCS.
 	Workers int
+	// Telemetry overrides the registry the enricher's request/failure
+	// counters publish to; nil uses the manager's registry. The counters:
+	// loose.requests, loose.request_failures (any per-request error),
+	// loose.request_panics (failures caused by a panicking model), and
+	// loose.dedup_hits (requests answered by the batch-level dedup).
+	Telemetry *telemetry.Registry
+}
+
+// registry resolves the enricher's metrics registry.
+func (e *LocalEnricher) registry() *telemetry.Registry {
+	if e.Telemetry != nil {
+		return e.Telemetry
+	}
+	if e.Mgr != nil {
+		return e.Mgr.Telemetry()
+	}
+	return nil
 }
 
 // EnrichBatch implements Enricher.
 func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, error) {
 	start := time.Now()
+	reg := e.registry()
+	reg.Counter("loose.requests").Add(int64(len(reqs)))
+	panics := reg.Counter("loose.request_panics")
 	resps := make([]Response, len(reqs))
 
 	// Validate up front so workers cannot race on error reporting, and
@@ -123,7 +144,7 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 	}
 	if workers <= 1 || len(order) < 2 {
 		for _, i := range order {
-			resps[i] = e.run(reqs[i])
+			resps[i] = e.run(reqs[i], panics)
 		}
 	} else {
 		if workers > len(order) {
@@ -136,7 +157,7 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 			go func() {
 				defer wg.Done()
 				for i := range next {
-					resps[i] = e.run(reqs[i])
+					resps[i] = e.run(reqs[i], panics)
 				}
 			}()
 		}
@@ -147,13 +168,20 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 		wg.Wait()
 	}
 	// Fill duplicate slots from their canonical execution.
+	var dedupHits, failures int64
 	for i := range reqs {
 		if dup[i] != i {
 			resp := resps[dup[i]]
 			resp.TID = reqs[i].TID // same tuple by construction, keep explicit
 			resps[i] = resp
+			dedupHits++
+		}
+		if resps[i].Failed() {
+			failures++
 		}
 	}
+	reg.Counter("loose.dedup_hits").Add(dedupHits)
+	reg.Counter("loose.request_failures").Add(failures)
 	return resps, BatchTiming{Compute: time.Since(start)}, nil
 }
 
@@ -161,10 +189,11 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 // buggy model, a malformed feature vector) into that request's failure
 // instead of crashing the worker pool — and, server-side, the shared
 // enrichment server.
-func (e *LocalEnricher) run(r Request) (resp Response) {
+func (e *LocalEnricher) run(r Request, panics *telemetry.Counter) (resp Response) {
 	resp = Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID}
 	defer func() {
 		if p := recover(); p != nil {
+			panics.Inc()
 			resp.Probs = nil
 			resp.Err = fmt.Sprintf("loose: enrichment %s.%s function %d panicked on tuple %d: %v",
 				r.Relation, r.Attr, r.FnID, r.TID, p)

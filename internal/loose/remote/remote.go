@@ -24,6 +24,7 @@ import (
 
 	"enrichdb/internal/enrich"
 	"enrichdb/internal/loose"
+	"enrichdb/internal/telemetry"
 )
 
 // BatchArgs is the RPC request payload.
@@ -43,6 +44,9 @@ type Service struct {
 	enricher loose.Enricher
 	inflight atomic.Int64
 	draining atomic.Bool
+
+	batches     *telemetry.Counter // remote.server.batches
+	batchErrors *telemetry.Counter // remote.server.batch_errors (incl. recovered panics)
 }
 
 // Enrich executes a batch. The method shape follows net/rpc conventions. A
@@ -56,13 +60,16 @@ func (s *Service) Enrich(args *BatchArgs, reply *BatchReply) (err error) {
 	}
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	s.batches.Inc()
 	defer func() {
 		if p := recover(); p != nil {
+			s.batchErrors.Inc()
 			err = fmt.Errorf("remote: enrichment batch panicked: %v", p)
 		}
 	}()
 	resps, timing, err := s.enricher.EnrichBatch(args.Reqs)
 	if err != nil {
+		s.batchErrors.Inc()
 		return err
 	}
 	reply.Resps = resps
@@ -79,6 +86,11 @@ type ServerOptions struct {
 	// DrainTimeout bounds how long Close waits for in-flight batches to
 	// finish before severing connections. 0 uses DefaultDrainTimeout.
 	DrainTimeout time.Duration
+	// Telemetry is the registry the server's counters publish to
+	// (remote.server.batches, remote.server.batch_errors,
+	// remote.server.rejected_conns, gauge remote.server.active_conns).
+	// Nil creates a private registry so the counters still count.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultDrainTimeout is the shutdown drain bound when ServerOptions leaves
@@ -90,25 +102,35 @@ type Server struct {
 	lis    net.Listener
 	svc    *Service
 	opts   ServerOptions
+	reg    *telemetry.Registry
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
 	closed bool
 	// rejected counts connections refused by the MaxConns cap.
-	rejected atomic.Int64
+	rejected *telemetry.Counter
 }
 
 // Serve starts an enrichment server on addr (e.g. "127.0.0.1:0") backed by
-// the manager's registered families. It returns once the listener is bound;
+// the manager's registered families. Server counters publish onto the
+// manager's telemetry registry. It returns once the listener is bound;
 // connections are served on background goroutines.
 func Serve(addr string, mgr *enrich.Manager) (*Server, string, error) {
-	return ServeEnricher(addr, &loose.LocalEnricher{Mgr: mgr}, ServerOptions{})
+	return ServeEnricher(addr, &loose.LocalEnricher{Mgr: mgr}, ServerOptions{Telemetry: mgr.Telemetry()})
 }
 
 // ServeEnricher starts an enrichment server over an arbitrary Enricher —
 // a parallel LocalEnricher, or a fault-injecting wrapper in chaos tests.
 // Closing the server also closes the enricher.
 func ServeEnricher(addr string, e loose.Enricher, opts ServerOptions) (*Server, string, error) {
-	svc := &Service{enricher: e}
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	svc := &Service{
+		enricher:    e,
+		batches:     reg.Counter("remote.server.batches"),
+		batchErrors: reg.Counter("remote.server.batch_errors"),
+	}
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Enrichment", svc); err != nil {
 		return nil, "", err
@@ -117,10 +139,18 @@ func ServeEnricher(addr string, e loose.Enricher, opts ServerOptions) (*Server, 
 	if err != nil {
 		return nil, "", fmt.Errorf("remote: listen %s: %w", addr, err)
 	}
-	s := &Server{lis: lis, svc: svc, opts: opts, conns: make(map[net.Conn]struct{})}
+	s := &Server{
+		lis: lis, svc: svc, opts: opts, reg: reg,
+		conns:    make(map[net.Conn]struct{}),
+		rejected: reg.Counter("remote.server.rejected_conns"),
+	}
+	reg.GaugeFunc("remote.server.active_conns", func() int64 { return int64(s.ActiveConns()) })
 	go s.acceptLoop(srv)
 	return s, lis.Addr().String(), nil
 }
+
+// Telemetry returns the server's metrics registry.
+func (s *Server) Telemetry() *telemetry.Registry { return s.reg }
 
 func (s *Server) acceptLoop(srv *rpc.Server) {
 	for {
@@ -159,7 +189,7 @@ func (s *Server) ActiveConns() int {
 }
 
 // RejectedConns returns how many connections the MaxConns cap refused.
-func (s *Server) RejectedConns() int64 { return s.rejected.Load() }
+func (s *Server) RejectedConns() int64 { return s.rejected.Value() }
 
 // DropConnections severs every live connection without stopping the
 // listener — a chaos hook emulating a network partition or a server
@@ -225,6 +255,10 @@ type Options struct {
 	BaseBackoff time.Duration
 	// MaxBackoff caps the exponential backoff. 0 uses DefaultMaxBackoff.
 	MaxBackoff time.Duration
+	// Telemetry is the registry the client's recovery counters publish to
+	// (remote.client.dials, remote.client.retries, remote.client.timeouts).
+	// Nil creates a private registry so Stats() keeps counting.
+	Telemetry *telemetry.Registry
 }
 
 // Client fault-tolerance defaults.
@@ -285,9 +319,9 @@ type Client struct {
 	rpc *rpc.Client // nil while disconnected; re-dialed on demand
 	rng *rand.Rand
 
-	dials    atomic.Int64
-	retries  atomic.Int64
-	timeouts atomic.Int64
+	dials    *telemetry.Counter // remote.client.dials
+	retries  *telemetry.Counter // remote.client.retries
+	timeouts *telemetry.Counter // remote.client.timeouts
 }
 
 // Dial connects to a server started with Serve, with default fault
@@ -300,10 +334,17 @@ func Dial(addr string) (*Client, error) {
 // connection is attempted once so misconfiguration fails fast; later broken
 // connections re-dial automatically.
 func DialOptions(addr string, opts Options) (*Client, error) {
+	reg := opts.Telemetry
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
 	c := &Client{
-		addr: addr,
-		opts: opts.normalized(),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		addr:     addr,
+		opts:     opts.normalized(),
+		rng:      rand.New(rand.NewSource(time.Now().UnixNano())),
+		dials:    reg.Counter("remote.client.dials"),
+		retries:  reg.Counter("remote.client.retries"),
+		timeouts: reg.Counter("remote.client.timeouts"),
 	}
 	if _, err := c.conn(); err != nil {
 		return nil, err
@@ -313,7 +354,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 
 // Stats returns a snapshot of the client's recovery counters.
 func (c *Client) Stats() ClientStats {
-	return ClientStats{Dials: c.dials.Load(), Retries: c.retries.Load(), Timeouts: c.timeouts.Load()}
+	return ClientStats{Dials: c.dials.Value(), Retries: c.retries.Value(), Timeouts: c.timeouts.Value()}
 }
 
 // conn returns the live connection, dialing a fresh one if needed.

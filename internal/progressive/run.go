@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"enrichdb/internal/engine"
@@ -14,6 +15,7 @@ import (
 	"enrichdb/internal/loose"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
 	"enrichdb/internal/types"
 )
@@ -94,6 +96,20 @@ type Config struct {
 	// the EpochReport, so callers can fetch delta answers (§3.3.4) instead
 	// of re-reading the whole view.
 	CollectDeltas bool
+
+	// Tracer, when non-nil, emits structured spans for every pipeline
+	// phase: query.analyze and query.setup once, then per epoch epoch.plan,
+	// epoch.enrich, epoch.determinize and epoch.refresh, annotated with the
+	// epoch's (relation, attr, fn) targets and — on the parallel
+	// determinize path — worker IDs. Nil costs nothing.
+	Tracer *telemetry.Tracer
+
+	// OnEpoch, when non-nil, is invoked synchronously after each completed
+	// epoch with that epoch's report: delta sizes, enrichments executed and
+	// skipped, coalesced UDF invocations, and the running quality. The run
+	// blocks until it returns, so keep the callback cheap (or hand the
+	// report off to a channel) when latency matters.
+	OnEpoch func(EpochReport)
 }
 
 // EpochReport is the per-epoch telemetry of a run.
@@ -101,8 +117,14 @@ type EpochReport struct {
 	Epoch    int
 	Planned  int   // PlanTable rows
 	Executed int64 // enrichment functions actually run
-	Quality  float64
-	Wall     time.Duration
+	// Skipped counts planned executions the state bitmap (or singleflight
+	// dedup) answered without running the function.
+	Skipped int64
+	// Coalesced (tight design) counts read_udf calls that shared another
+	// call's invocation payment this epoch via micro-batching.
+	Coalesced int64
+	Quality   float64
+	Wall      time.Duration
 
 	PlanTime    time.Duration
 	EnrichTime  time.Duration // function execution (server or in-DBMS)
@@ -173,30 +195,40 @@ func Run(cfg Config) (*Result, error) {
 		rng = rand.New(rand.NewSource(cfg.Seed + 7))
 	}
 
+	spAnalyze := cfg.Tracer.Start("query.analyze").Str("design", cfg.Design.String())
 	stmt, err := sqlparser.Parse(cfg.Query)
 	if err != nil {
+		spAnalyze.Str("error", err.Error()).End()
 		return nil, err
 	}
 	a, err := engine.Analyze(stmt, cfg.DB.Catalog())
 	if err != nil {
+		spAnalyze.Str("error", err.Error()).End()
 		return nil, err
 	}
+	spAnalyze.Int("tables", int64(len(a.Tables))).End()
 
 	res := &Result{Design: cfg.Design}
 	countersBefore := cfg.Mgr.Counters()
 	ctx := engine.NewExecCtx()
+	reg := cfg.Mgr.Telemetry()
+	epochWall := reg.Histogram("epoch.wall_ms", telemetry.LatencyBucketsMs)
 
 	// ---- Epoch e₀: query setup (§3.3.1). ----
 	setupStart := time.Now()
+	spSetup := cfg.Tracer.Start("query.setup")
 	var view *ivm.View
 	if !cfg.Recompute {
 		view, err = ivm.New(a, cfg.DB, ctx)
 		if err != nil {
+			spSetup.Str("error", err.Error()).End()
 			return nil, err
 		}
+		view.SetTelemetry(reg)
 	}
 	probes, err := loose.GenerateProbes(a, cfg.DB, cfg.Mgr, ctx)
 	if err != nil {
+		spSetup.Str("error", err.Error()).End()
 		return nil, err
 	}
 	var entries []SpaceEntry
@@ -208,11 +240,18 @@ func Run(cfg Config) (*Result, error) {
 	space := NewPlanSpace(entries)
 	res.PlanSpaceBytes = space.SizeBytes()
 	res.Overhead.Setup = time.Since(setupStart)
+	spSetup.Int("probes", int64(len(probes))).
+		Int("plan_space", int64(len(entries))).
+		End()
 
 	// The tight design's rewritten analysis and runtime are reused across
-	// epochs.
+	// epochs. The runtime's UDF counters live on the manager's registry and
+	// so accumulate across runs; remember their starting values to report
+	// this run's deltas.
 	var rwa *engine.Analysis
 	var rt *tight.Runtime
+	var callBefore time.Duration
+	var payBefore, coalBefore int64
 	if cfg.Design == Tight {
 		rwa, err = tight.RewriteAnalysis(a)
 		if err != nil {
@@ -221,6 +260,8 @@ func Run(cfg Config) (*Result, error) {
 		rt = tight.NewRuntime(cfg.DB, cfg.Mgr)
 		rt.InvokeOverhead = cfg.InvokeOverhead
 		rt.BatchUDF = !cfg.PerRowUDF
+		callBefore = rt.CallTime()
+		payBefore, coalBefore = rt.BatchStats()
 	}
 
 	record := func() {
@@ -253,10 +294,15 @@ func Run(cfg Config) (*Result, error) {
 		}
 
 		planStart := time.Now()
+		spPlan := cfg.Tracer.Start("epoch.plan").Epoch(epoch)
 		plan := space.Plan(cfg.Mgr, cfg.Strategy, budget, rng)
 		rep.PlanTime = time.Since(planStart)
 		rep.Planned = len(plan)
 		rep.PlanTableBytes = PlanSizeBytes(plan)
+		spPlan.Int("planned", int64(len(plan))).
+			Int("plan_bytes", rep.PlanTableBytes).
+			Str("targets", targetsSummary(plan)).
+			End()
 		if rep.PlanTableBytes > res.MaxPlanBytes {
 			res.MaxPlanBytes = rep.PlanTableBytes
 		}
@@ -269,17 +315,26 @@ func Run(cfg Config) (*Result, error) {
 		snapshots := snapshotPlanned(cfg.DB, plan)
 
 		execBefore := cfg.Mgr.Counters()
+		var coalBeforeEpoch int64
+		if rt != nil {
+			_, coalBeforeEpoch = rt.BatchStats()
+		}
+		spEnrich := cfg.Tracer.Start("epoch.enrich").Epoch(epoch).
+			Str("design", cfg.Design.String()).
+			Str("targets", targetsSummary(plan))
 		switch cfg.Design {
 		case Loose:
-			timing, err := runLooseEpoch(cfg, sched, plan)
+			timing, err := runLooseEpoch(cfg, sched, plan, epoch)
 			if err != nil {
+				spEnrich.Str("error", err.Error()).End()
 				return nil, err
 			}
 			rep.EnrichTime = timing.Compute
 			rep.NetworkTime = timing.Network
 		case Tight:
 			enrichBefore := cfg.Mgr.Counters().EnrichTime
-			if err := runTightEpoch(cfg, sched, a, rwa, rt, view, plan, ctx); err != nil {
+			if err := runTightEpoch(cfg, sched, a, rwa, rt, view, plan, ctx, epoch); err != nil {
+				spEnrich.Str("error", err.Error()).End()
 				return nil, err
 			}
 			rep.EnrichTime = cfg.Mgr.Counters().EnrichTime - enrichBefore
@@ -287,22 +342,41 @@ func Run(cfg Config) (*Result, error) {
 		for _, it := range plan {
 			space.Consume(it)
 		}
-		rep.Executed = cfg.Mgr.Counters().Enrichments - execBefore.Enrichments
+		execAfter := cfg.Mgr.Counters()
+		rep.Executed = execAfter.Enrichments - execBefore.Enrichments
+		rep.Skipped = execAfter.Skipped - execBefore.Skipped
+		if rt != nil {
+			_, coalNow := rt.BatchStats()
+			rep.Coalesced = coalNow - coalBeforeEpoch
+		}
+		spEnrich.Int("executed", rep.Executed).
+			Int("skipped", rep.Skipped).
+			Int("coalesced", rep.Coalesced).
+			End()
+		if cfg.Design == Tight {
+			// The tight design determinizes inside ReadUDF; emit a marker so
+			// every epoch carries the full phase sequence.
+			cfg.Tracer.Start("epoch.determinize").Epoch(epoch).Int("embedded", 1).End()
+		}
 		res.Overhead.Enrich += rep.EnrichTime
 
 		// Maintain the answer (§3.3.3): IVM delta, or the re-execution
 		// strawman.
 		deltaStart := time.Now()
+		spRefresh := cfg.Tracer.Start("epoch.refresh").Epoch(epoch)
 		if cfg.Recompute {
 			rows, err := executePlain(a, cfg.DB, ctx)
 			if err != nil {
+				spRefresh.Str("error", err.Error()).End()
 				return nil, err
 			}
 			res.Rows = rows
+			spRefresh.Int("recompute", 1).Int("rows", int64(len(rows))).End()
 		} else {
 			deltas := deltasFromSnapshots(cfg.DB, snapshots)
 			d, err := view.Apply(ctx, deltas)
 			if err != nil {
+				spRefresh.Str("error", err.Error()).End()
 				return nil, err
 			}
 			rep.Inserted = len(d.Inserted)
@@ -311,6 +385,9 @@ func Run(cfg Config) (*Result, error) {
 				rep.InsertedRows = d.Inserted
 				rep.DeletedRows = d.Deleted
 			}
+			spRefresh.Int("inserted", int64(rep.Inserted)).
+				Int("deleted", int64(rep.Deleted)).
+				End()
 		}
 		rep.DeltaTime = time.Since(deltaStart)
 		res.Overhead.Delta += rep.DeltaTime
@@ -319,6 +396,11 @@ func Run(cfg Config) (*Result, error) {
 		record()
 		rep.Quality = res.Quality[len(res.Quality)-1]
 		res.Epochs = append(res.Epochs, rep)
+		reg.Counter("epoch.count").Inc()
+		epochWall.Observe(float64(rep.Wall) / float64(time.Millisecond))
+		if cfg.OnEpoch != nil {
+			cfg.OnEpoch(rep)
+		}
 	}
 
 	if view != nil {
@@ -330,12 +412,13 @@ func Run(cfg Config) (*Result, error) {
 	res.TotalEnrichments = counters.Enrichments - countersBefore.Enrichments
 	res.Overhead.State = counters.StateUpdateTime - countersBefore.StateUpdateTime
 	if rt != nil {
-		udf := rt.CallTime() - (counters.EnrichTime - countersBefore.EnrichTime)
+		udf := (rt.CallTime() - callBefore) - (counters.EnrichTime - countersBefore.EnrichTime)
 		if udf < 0 {
 			udf = 0
 		}
 		res.Overhead.UDF = udf
-		res.UDFPayments, res.UDFCoalesced = rt.BatchStats()
+		pay, coal := rt.BatchStats()
+		res.UDFPayments, res.UDFCoalesced = pay-payBefore, coal-coalBefore
 	}
 	return res, nil
 }
@@ -407,7 +490,7 @@ func deltasFromSnapshots(db *storage.DB, snaps map[[2]interface{}]*types.Tuple) 
 // batch itself runs on the server's own pool; the DBMS-side determinization
 // and base-table write-back run on the epoch scheduler, one worker per
 // touched (relation, tuple, attribute).
-func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem) (loose.BatchTiming, error) {
+func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem, epoch int) (loose.BatchTiming, error) {
 	var reqs []loose.Request
 	for _, it := range plan {
 		if cfg.Mgr.Enriched(it.Relation, it.TID, it.Attr, it.FnID) {
@@ -454,7 +537,7 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem) (loose.
 	// owns a distinct (tuple, attr) slot, the state and base tables serialize
 	// their own writes, and Determine's cutoff re-executions dedup through
 	// the manager's singleflight.
-	err = sched.Do(len(keys), func(i int) error {
+	err = sched.DoTraced(cfg.Tracer, "epoch.determinize", epoch, len(keys), func(i int) error {
 		k := keys[i]
 		feature, err := featureOf(cfg.DB, k.rel, k.tid, k.attr)
 		if err != nil {
@@ -487,7 +570,7 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem) (loose.
 // after Resolve, and each evaluation gets its own EvalCtx. Survivors are
 // collected in tuple-id order, so join input — and hence the enrichment work
 // the join triggers — is identical at every worker count.
-func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis, rt *tight.Runtime, view *ivm.View, plan []PlanItem, _ *engine.ExecCtx) error {
+func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis, rt *tight.Runtime, view *ivm.View, plan []PlanItem, _ *engine.ExecCtx, epoch int) error {
 	type af struct {
 		attr string
 		fn   int
@@ -551,7 +634,7 @@ func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis,
 			return err
 		}
 		keep := make([]bool, len(rows))
-		err = sched.Do(len(rows), func(i int) error {
+		err = sched.DoTraced(cfg.Tracer, "tight.select", epoch, len(rows), func(i int) error {
 			ev := &expr.EvalCtx{Runtime: rt}
 			tv, evalErr := expr.EvalPred(ev, selPred, rows[i])
 			if evalErr != nil {
@@ -612,6 +695,44 @@ func rewrittenSelPred(rwa *engine.Analysis, alias string) expr.Expr {
 		return expr.TruePred{}
 	}
 	return expr.NewAnd(kids...)
+}
+
+// targetsSummary renders the plan's distinct (relation, attr, fn) triplets
+// with their row counts as a compact, deterministic span annotation:
+// "tweets.topic/0:12 tweets.topic/1:9".
+func targetsSummary(plan []PlanItem) string {
+	type key struct {
+		rel  string
+		attr string
+		fn   int
+	}
+	counts := make(map[key]int)
+	var order []key // first-appearance order; plan order is deterministic
+	for _, it := range plan {
+		k := key{it.Relation, it.Attr, it.FnID}
+		if counts[k] == 0 {
+			order = append(order, k)
+		}
+		counts[k]++
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if a.rel != b.rel {
+			return a.rel < b.rel
+		}
+		if a.attr != b.attr {
+			return a.attr < b.attr
+		}
+		return a.fn < b.fn
+	})
+	var sb strings.Builder
+	for i, k := range order {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s.%s/%d:%d", k.rel, k.attr, k.fn, counts[k])
+	}
+	return sb.String()
 }
 
 func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, error) {

@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span. Values are created through the
+// typed ActiveSpan setters so the disabled path never boxes.
+type Attr struct {
+	Key string
+	Val interface{}
+}
+
+// Span is one completed unit of pipeline work. Epoch 0 means "outside the
+// epoch loop" (setup-phase spans); Worker -1 means "not a worker span".
+type Span struct {
+	Name   string
+	Start  time.Time
+	Dur    time.Duration
+	Epoch  int
+	Worker int
+	Attrs  []Attr
+}
+
+// Sink receives completed spans. Implementations must be safe for concurrent
+// Emit calls — epoch workers finish spans in parallel.
+type Sink interface {
+	Emit(sp *Span)
+}
+
+// Tracer hands out spans and forwards completed ones to its sink. The nil
+// tracer is the disabled state: Start returns nil, every ActiveSpan method
+// no-ops on nil, and the whole path performs zero allocations (asserted by
+// TestDisabledTracerZeroAlloc).
+type Tracer struct {
+	sink Sink
+}
+
+// NewTracer builds a tracer over a sink; a nil sink yields a nil (disabled)
+// tracer.
+func NewTracer(sink Sink) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	return &Tracer{sink: sink}
+}
+
+// Enabled reports whether spans are being recorded.
+func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
+
+// ActiveSpan is a span under construction. All methods are nil-safe.
+type ActiveSpan struct {
+	t  *Tracer
+	sp Span
+}
+
+// Start opens a span. On a disabled tracer it returns nil, and the returned
+// nil *ActiveSpan accepts the full method chain for free.
+func (t *Tracer) Start(name string) *ActiveSpan {
+	if !t.Enabled() {
+		return nil
+	}
+	return &ActiveSpan{t: t, sp: Span{Name: name, Start: time.Now(), Worker: -1}}
+}
+
+// Epoch tags the span with its epoch number.
+func (s *ActiveSpan) Epoch(e int) *ActiveSpan {
+	if s != nil {
+		s.sp.Epoch = e
+	}
+	return s
+}
+
+// Worker tags the span with a worker ID.
+func (s *ActiveSpan) Worker(w int) *ActiveSpan {
+	if s != nil {
+		s.sp.Worker = w
+	}
+	return s
+}
+
+// Int attaches an integer annotation.
+func (s *ActiveSpan) Int(key string, v int64) *ActiveSpan {
+	if s != nil {
+		s.sp.Attrs = append(s.sp.Attrs, Attr{Key: key, Val: v})
+	}
+	return s
+}
+
+// Str attaches a string annotation.
+func (s *ActiveSpan) Str(key, v string) *ActiveSpan {
+	if s != nil {
+		s.sp.Attrs = append(s.sp.Attrs, Attr{Key: key, Val: v})
+	}
+	return s
+}
+
+// Float attaches a float annotation.
+func (s *ActiveSpan) Float(key string, v float64) *ActiveSpan {
+	if s != nil {
+		s.sp.Attrs = append(s.sp.Attrs, Attr{Key: key, Val: v})
+	}
+	return s
+}
+
+// End closes the span and emits it to the sink.
+func (s *ActiveSpan) End() {
+	if s == nil {
+		return
+	}
+	s.sp.Dur = time.Since(s.sp.Start)
+	s.t.sink.Emit(&s.sp)
+}
+
+// spanJSON is the JSONL wire form. Attrs marshal as a JSON object, whose
+// keys encoding/json sorts — the golden tests rely on the deterministic
+// field order.
+type spanJSON struct {
+	Name   string                 `json:"name"`
+	Start  string                 `json:"start"`
+	DurUS  int64                  `json:"dur_us"`
+	Epoch  int                    `json:"epoch,omitempty"`
+	Worker *int                   `json:"worker,omitempty"`
+	Attrs  map[string]interface{} `json:"attrs,omitempty"`
+}
+
+func toJSON(sp *Span) spanJSON {
+	j := spanJSON{
+		Name:  sp.Name,
+		Start: sp.Start.UTC().Format(time.RFC3339Nano),
+		DurUS: sp.Dur.Microseconds(),
+		Epoch: sp.Epoch,
+	}
+	if sp.Worker >= 0 {
+		w := sp.Worker
+		j.Worker = &w
+	}
+	if len(sp.Attrs) > 0 {
+		j.Attrs = make(map[string]interface{}, len(sp.Attrs))
+		for _, a := range sp.Attrs {
+			j.Attrs[a.Key] = a.Val
+		}
+	}
+	return j
+}
+
+// JSONLSink writes one JSON object per span to a writer. Emissions are
+// serialized by an internal mutex so concurrent workers never interleave
+// lines.
+type JSONLSink struct {
+	mu  sync.Mutex
+	w   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSONLSink builds a sink over w (typically a file or a buffer).
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{w: w, enc: json.NewEncoder(w)}
+}
+
+// Emit implements Sink.
+func (s *JSONLSink) Emit(sp *Span) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.enc.Encode(toJSON(sp)) // sink errors must never fail a query
+}
+
+// CollectSink retains spans in memory, for tests and for in-process
+// consumers that post-process a run's trace.
+type CollectSink struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+// Emit implements Sink.
+func (s *CollectSink) Emit(sp *Span) {
+	s.mu.Lock()
+	s.spans = append(s.spans, sp)
+	s.mu.Unlock()
+}
+
+// Spans returns the collected spans in emission order.
+func (s *CollectSink) Spans() []*Span {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Span(nil), s.spans...)
+}
+
+// FormatSpans reads JSONL spans from r and pretty-prints them to w: spans
+// grouped under epoch headers, with durations, worker tags and sorted
+// attributes — the renderer behind cmd/tracefmt and `make trace-demo`.
+func FormatSpans(r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lastEpoch := -1
+	n := 0
+	var total time.Duration
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var j spanJSON
+		if err := json.Unmarshal([]byte(line), &j); err != nil {
+			return fmt.Errorf("telemetry: bad span line %q: %w", line, err)
+		}
+		if j.Epoch != lastEpoch {
+			if j.Epoch == 0 {
+				fmt.Fprintln(w, "— setup —")
+			} else {
+				fmt.Fprintf(w, "— epoch %d —\n", j.Epoch)
+			}
+			lastEpoch = j.Epoch
+		}
+		dur := time.Duration(j.DurUS) * time.Microsecond
+		total += dur
+		tag := ""
+		if j.Worker != nil {
+			tag = fmt.Sprintf(" [worker %d]", *j.Worker)
+		}
+		fmt.Fprintf(w, "  %-20s %10v%s", j.Name, dur, tag)
+		if len(j.Attrs) > 0 {
+			keys := make([]string, 0, len(j.Attrs))
+			for k := range j.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%v", k, j.Attrs[k])
+			}
+			fmt.Fprintf(w, "  %s", strings.Join(parts, " "))
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d spans, %v total span time\n", n, total.Round(time.Microsecond))
+	return nil
+}

@@ -8,6 +8,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 )
 
 // Result is the outcome of a tight, non-progressive query execution.
@@ -34,6 +35,8 @@ type Driver struct {
 	InvokeOverhead time.Duration
 	// BuildOptions forwards optimizer toggles (ablation experiments).
 	BuildOptions engine.BuildOptions
+	// Tracer, when non-nil, emits a tight.execute span per query.
+	Tracer *telemetry.Tracer
 }
 
 // NewDriver builds a tight driver.
@@ -72,17 +75,25 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	ctx.Eval.Runtime = rt
 
 	t0 := time.Now()
+	sp := d.Tracer.Start("tight.execute")
 	rows, err := plan.Execute(ctx)
 	if err != nil {
+		sp.Str("error", err.Error()).End()
 		return nil, err
 	}
-	return &Result{
+	ctx.Stats.Publish(d.Mgr.Telemetry().Add)
+	res := &Result{
 		Rows:           rows,
 		Enrichments:    d.Mgr.Counters().Enrichments - before,
 		UDFInvocations: ctx.Eval.UDFInvocations,
 		DBMS:           time.Since(t0),
 		Stats:          *ctx.Stats,
-	}, nil
+	}
+	sp.Int("rows", int64(len(rows))).
+		Int("enrichments", res.Enrichments).
+		Int("udf_invocations", res.UDFInvocations).
+		End()
+	return res, nil
 }
 
 // Explain returns the rewritten query's plan tree (used by tests and the

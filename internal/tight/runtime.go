@@ -4,12 +4,12 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"enrichdb/internal/enrich"
 	"enrichdb/internal/expr"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/types"
 )
 
@@ -50,9 +50,12 @@ type Runtime struct {
 	// table (on by default via NewRuntime).
 	WriteBack bool
 
-	callNanos atomic.Int64 // wall-clock inside the three UDFs
-	batches   atomic.Int64 // overhead payments made (batch leaders)
-	coalesced atomic.Int64 // ReadUDF calls that shared a leader's payment
+	// The runtime's accounting lives on the manager's telemetry registry
+	// (NewRuntime wires it), so one Snapshot carries both the enrichment
+	// counters and the UDF invocation counters Exp 4 reports.
+	callNanos *telemetry.Counter // tight.udf_call_ns: wall-clock inside the three UDFs
+	batches   *telemetry.Counter // tight.udf_payments: overhead payments made (batch leaders)
+	coalesced *telemetry.Counter // tight.udf_coalesced: ReadUDF calls that shared a leader's payment
 
 	gateMu sync.Mutex
 	gates  map[gateKey]chan struct{}
@@ -66,9 +69,16 @@ type gateKey struct {
 	fnMask   uint64
 }
 
-// NewRuntime builds a runtime with write-back enabled.
+// NewRuntime builds a runtime with write-back enabled, publishing its UDF
+// counters onto the manager's telemetry registry.
 func NewRuntime(db *storage.DB, mgr *enrich.Manager) *Runtime {
-	return &Runtime{DB: db, Mgr: mgr, WriteBack: true, gates: make(map[gateKey]chan struct{})}
+	reg := mgr.Telemetry()
+	return &Runtime{
+		DB: db, Mgr: mgr, WriteBack: true, gates: make(map[gateKey]chan struct{}),
+		callNanos: reg.Counter("tight.udf_call_ns"),
+		batches:   reg.Counter("tight.udf_payments"),
+		coalesced: reg.Counter("tight.udf_coalesced"),
+	}
 }
 
 var _ expr.EnrichRuntime = (*Runtime)(nil)
@@ -76,13 +86,13 @@ var _ expr.EnrichRuntime = (*Runtime)(nil)
 // CallTime returns the cumulative wall-clock spent inside the three UDFs,
 // including enrichment execution; subtracting the manager's EnrichTime gives
 // the pure invocation overhead Exp 4 reports.
-func (rt *Runtime) CallTime() time.Duration { return time.Duration(rt.callNanos.Load()) }
+func (rt *Runtime) CallTime() time.Duration { return rt.callNanos.Duration() }
 
 // BatchStats returns how many invocation-overhead payments were made and how
 // many read_udf calls rode along on another call's payment (zero unless
 // BatchUDF and concurrent execution overlap).
 func (rt *Runtime) BatchStats() (payments, coalesced int64) {
-	return rt.batches.Load(), rt.coalesced.Load()
+	return rt.batches.Value(), rt.coalesced.Value()
 }
 
 // pending returns the not-yet-executed function IDs relevant for (relation,
@@ -192,7 +202,7 @@ func (rt *Runtime) featureOf(relation string, tid int64, attr string) ([]float64
 	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), nil
 }
 
-func (rt *Runtime) track(start time.Time) { rt.callNanos.Add(int64(time.Since(start))) }
+func (rt *Runtime) track(start time.Time) { rt.callNanos.AddDuration(time.Since(start)) }
 
 // overhead pays the per-call invocation tax (per-row UDF execution).
 func (rt *Runtime) overhead() {

@@ -49,7 +49,9 @@ type ProgressiveOptions struct {
 	// Quality, when set, scores the current answer after every epoch (for
 	// example against ground truth); the series feeds ProgressiveScore.
 	Quality func(*Rows) float64
-	// OnEpoch, when set, is called after every epoch with its report.
+	// OnEpoch, when set, is called after every epoch, while the run is
+	// still in progress, with that epoch's report — delta sizes,
+	// enrichments executed/skipped/coalesced, and the running quality.
 	OnEpoch func(Epoch)
 	// OnDelta, when set, is called after every epoch with the answer rows
 	// that appeared and disappeared — the paper's §3.3.4 delta fetching:
@@ -62,10 +64,15 @@ type Epoch struct {
 	N           int
 	Planned     int
 	Enrichments int64
-	Quality     float64
-	Inserted    int
-	Deleted     int
-	Wall        time.Duration
+	// Skipped counts planned executions answered from existing state
+	// instead of running the function; Coalesced (tight design) counts
+	// read_udf calls that shared another call's invocation payment.
+	Skipped   int64
+	Coalesced int64
+	Quality   float64
+	Inserted  int
+	Deleted   int
+	Wall      time.Duration
 }
 
 // ProgressiveResult is the outcome of a progressive run.
@@ -168,6 +175,10 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		Seed:           opts.Seed,
 		InvokeOverhead: db.TightInvokeOverhead,
 		CollectDeltas:  true, // backs OnDelta and DeltaSince
+		Tracer:         db.tracer,
+	}
+	if opts.OnEpoch != nil {
+		cfg.OnEpoch = func(ep progressive.EpochReport) { opts.OnEpoch(wrapEpoch(ep)) }
 	}
 	a, err := db.analyzeSQL(query) // validate early and get the schema
 	if err != nil {
@@ -199,16 +210,9 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		},
 	}
 	for _, ep := range res.Epochs {
-		e := Epoch{
-			N: ep.Epoch, Planned: ep.Planned, Enrichments: ep.Executed,
-			Quality: ep.Quality, Inserted: ep.Inserted, Deleted: ep.Deleted, Wall: ep.Wall,
-		}
 		out.inserted = append(out.inserted, ep.InsertedRows)
 		out.deleted = append(out.deleted, ep.DeletedRows)
-		out.Epochs = append(out.Epochs, e)
-		if opts.OnEpoch != nil {
-			opts.OnEpoch(e)
-		}
+		out.Epochs = append(out.Epochs, wrapEpoch(ep))
 		if opts.OnDelta != nil && res.View != nil {
 			opts.OnDelta(wrapDelta(res.View, ep.InsertedRows), wrapDelta(res.View, ep.DeletedRows))
 		}
@@ -222,6 +226,15 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		out.Rows = &Rows{}
 	}
 	return out, nil
+}
+
+// wrapEpoch converts an internal epoch report to the public shape.
+func wrapEpoch(ep progressive.EpochReport) Epoch {
+	return Epoch{
+		N: ep.Epoch, Planned: ep.Planned, Enrichments: ep.Executed,
+		Skipped: ep.Skipped, Coalesced: ep.Coalesced,
+		Quality: ep.Quality, Inserted: ep.Inserted, Deleted: ep.Deleted, Wall: ep.Wall,
+	}
 }
 
 // wrapDelta wraps delta rows under the view's output schema.
