@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race bench fuzz tidy staticcheck trace-demo
+.PHONY: check vet build test race test-race bench bench-kernel bench-smoke fuzz tidy staticcheck trace-demo
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
-check: vet staticcheck build test race
+check: vet staticcheck build test race bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -20,7 +20,7 @@ test:
 # registry/tracer they all publish into, and the chaos tests that hammer
 # them.
 race:
-	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/...
+	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/... ./internal/storage/...
 
 # Full concurrency gate: vet, then the concurrency/chaos/equivalence suites
 # under the race detector, twice (-count=2 defeats the test cache and shakes
@@ -35,6 +35,7 @@ test-race: vet
 		./internal/faultinject/... \
 		./internal/tight/... \
 		./internal/ivm/... \
+		./internal/storage/... \
 		./internal/progressive/... \
 		./internal/telemetry/...
 
@@ -44,6 +45,41 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# One-iteration pass over the kernel benchmarks: proves the bench harness
+# still compiles and runs without paying full measurement time.
+bench-smoke:
+	$(GO) test -bench '^BenchmarkKernel' -benchtime 1x -run '^$$' ./internal/bench
+
+# Re-measure the execution-kernel microbenchmarks and fold the numbers into
+# BENCH_kernel.json under the "current" label (the committed "baseline" label
+# captures the pre-slab, string-keyed implementation).
+# Each benchmark runs in its own process with a fixed iteration count, so
+# the benchmark function executes exactly once. Anything else contaminates
+# the large benches: in a shared process (or across `-benchtime 1s` N
+# escalations, which re-invoke the function and rebuild the table) the
+# 1M-row benches inherit heap history and GC pacing from earlier tables and
+# measure several times slower than their true isolated cost.
+KERNEL_BENCHES := \
+	'^BenchmarkKernelScan$$/^10k$$=1000x' \
+	'^BenchmarkKernelScan$$/^100k$$=50x' \
+	'^BenchmarkKernelScan$$/^1M$$=5x' \
+	'^BenchmarkKernelFilter$$/^10k$$=1000x' \
+	'^BenchmarkKernelFilter$$/^100k$$=50x' \
+	'^BenchmarkKernelFilter$$/^1M$$=5x' \
+	'^BenchmarkKernelHashJoin$$/^10k$$=300x' \
+	'^BenchmarkKernelHashJoin$$/^100k$$=20x' \
+	'^BenchmarkKernelSemiJoin$$/^10k$$=1000x' \
+	'^BenchmarkKernelSemiJoin$$/^100k$$=100x' \
+	'^BenchmarkKernelIVMApply$$=500x'
+
+bench-kernel:
+	@$(GO) test -c -o .bench-kernel.test ./internal/bench
+	@{ for p in $(KERNEL_BENCHES); do \
+		./.bench-kernel.test -test.run '^$$' -test.bench "$${p%=*}" \
+			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
+	done; } | $(GO) run ./cmd/benchjson -label current -out BENCH_kernel.json
+	@rm -f .bench-kernel.test
 
 tidy:
 	gofmt -l -w .

@@ -33,17 +33,17 @@ func NewIndexScan(t *storage.Table, alias, col string, val types.Value) *IndexSc
 // Schema returns the scan's row schema.
 func (s *IndexScan) Schema() *expr.RowSchema { return s.rs }
 
-// Execute looks up the matching tuple ids and materializes them.
+// Execute looks up the matching tuples in one index probe (a single lock
+// hold instead of a lookup plus per-id Gets) and materializes them through
+// the arena.
 func (s *IndexScan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
-	ids, ok := s.Table.LookupIndex(s.Col, s.Val)
+	tuples, ok := s.Table.IndexTuples(s.Col, s.Val)
 	if !ok {
 		return nil, fmt.Errorf("engine: index on %s.%s disappeared", s.Table.Schema().Name, s.Col)
 	}
-	out := make([]*expr.Row, 0, len(ids))
-	for _, id := range ids {
-		if tu := s.Table.Get(id); tu != nil {
-			out = append(out, expr.RowFromTuple(s.rs, tu))
-		}
+	out := make([]*expr.Row, len(tuples))
+	for i, tu := range tuples {
+		out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
 	}
 	ctx.Stats.RowsScanned += int64(len(out))
 	ctx.Stats.IndexScans++

@@ -37,15 +37,44 @@ func (s *Stats) Publish(add func(name string, delta int64)) {
 	add("engine.index_scans", s.IndexScans)
 }
 
+// Pool bounds data-parallel plan execution. It is satisfied by
+// enrich.Scheduler (the progressive executor passes its scheduler through so
+// scans and enrichment share one worker budget) without the engine importing
+// the enrich package. Do runs fn(0..n-1) across the pool's workers and
+// returns the first error.
+type Pool interface {
+	Workers() int
+	Do(n int, fn func(i int) error) error
+}
+
 // ExecCtx carries runtime services through plan execution.
 type ExecCtx struct {
 	Eval  *expr.EvalCtx
 	Stats *Stats
+	// Arena amortizes row materialization; nil falls back to per-row
+	// allocation (all arena methods are nil-safe).
+	Arena *expr.RowArena
+	// Pool, when non-nil with more than one worker, enables the partitioned
+	// parallel scan+filter path. Leaving it nil keeps execution sequential.
+	Pool Pool
 }
 
-// NewExecCtx returns a context with fresh counters and no UDF runtime.
+// NewExecCtx returns a context with fresh counters, a fresh row arena, and
+// no UDF runtime.
 func NewExecCtx() *ExecCtx {
-	return &ExecCtx{Eval: &expr.EvalCtx{}, Stats: &Stats{}}
+	return &ExecCtx{Eval: &expr.EvalCtx{}, Stats: &Stats{}, Arena: &expr.RowArena{}}
+}
+
+// PublishStats publishes the executor counters plus the arena's allocation
+// counters (engine.alloc_rows / engine.alloc_chunks) onto a telemetry adder.
+func (ctx *ExecCtx) PublishStats(add func(name string, delta int64)) {
+	ctx.Stats.Publish(add)
+	if add == nil {
+		return
+	}
+	rows, chunks := ctx.Arena.Counters()
+	add("engine.alloc_rows", rows)
+	add("engine.alloc_chunks", chunks)
 }
 
 // Plan is a node of an executable query plan. Execution is materialized:
@@ -73,15 +102,23 @@ func NewScan(t *storage.Table, alias string) *Scan {
 // Schema returns the scan's row schema.
 func (s *Scan) Schema() *expr.RowSchema { return s.rs }
 
-// Execute materializes the table.
+// Execute materializes the table: one snapshot of the slab under the read
+// lock, then lock-free arena-backed row wrapping.
 func (s *Scan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
-	out := make([]*expr.Row, 0, s.Table.Len())
-	s.Table.Scan(func(t *types.Tuple) bool {
-		out = append(out, expr.RowFromTuple(s.rs, t))
-		return true
-	})
+	return s.materialize(ctx, s.Table.Tuples()), nil
+}
+
+// materialize wraps a tuple snapshot (or a partition of one) as executor
+// rows, in order. The cardinality is known, so the arena's chunks are
+// reserved up front: one allocation each for the row and TID arrays.
+func (s *Scan) materialize(ctx *ExecCtx, tuples []*types.Tuple) []*expr.Row {
+	ctx.Arena.Reserve(len(tuples), 0, len(tuples))
+	out := make([]*expr.Row, len(tuples))
+	for i, tu := range tuples {
+		out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
+	}
 	ctx.Stats.RowsScanned += int64(len(out))
-	return out, nil
+	return out
 }
 
 // Explain renders the node.
@@ -94,32 +131,128 @@ func (s *Scan) Explain(indent string) string {
 type Filter struct {
 	Child Plan
 	Pred  expr.Expr
+	// hasUDF records whether the predicate contains a UDF call; UDF-bearing
+	// predicates mutate shared enrichment state and never take the parallel
+	// scan path.
+	hasUDF bool
 }
+
+// ParallelScanMinRows is the table size below which a filter-over-scan stays
+// sequential even when a worker pool is available — fan-out costs more than
+// it saves on small inputs. A package variable so tests can lower it.
+var ParallelScanMinRows = 4096
 
 // NewFilter builds a filter node; the predicate must already be resolved
 // against the child schema.
 func NewFilter(child Plan, pred expr.Expr) *Filter {
-	return &Filter{Child: child, Pred: pred}
+	f := &Filter{Child: child, Pred: pred}
+	pred.Walk(func(e expr.Expr) {
+		if _, ok := e.(*expr.UDFCall); ok {
+			f.hasUDF = true
+		}
+	})
+	return f
 }
 
 // Schema returns the child schema.
 func (f *Filter) Schema() *expr.RowSchema { return f.Child.Schema() }
 
-// Execute filters the child's rows.
+// ownsResult reports whether a plan node's Execute returns a freshly built
+// slice the caller may overwrite in place. Rows leaves share their backing
+// slice with whoever built them (IVM view snapshots alias it), and unknown
+// plan implementations default to the safe copy path.
+func ownsResult(p Plan) bool {
+	switch p.(type) {
+	case *Scan, *IndexScan, *Filter, *Join, *Project, *Aggregate:
+		return true
+	default:
+		return false
+	}
+}
+
+// Execute filters the child's rows: in place on the child's slice when the
+// child owns its result, via a partitioned parallel scan when the child is a
+// bare table scan and a worker pool is attached.
 func (f *Filter) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if s, ok := f.Child.(*Scan); ok && !f.hasUDF && ctx.Pool != nil && ctx.Pool.Workers() > 1 {
+		return f.scanFilter(ctx, s)
+	}
 	in, err := f.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
-	out := in[:0:0]
+	var out []*expr.Row
+	if ownsResult(f.Child) {
+		out = in[:0]
+	}
+	return f.filterInto(ctx.Eval, in, out)
+}
+
+// filterInto appends the rows of in that satisfy the predicate to out; out
+// may alias in's prefix (the write index never passes the read index).
+func (f *Filter) filterInto(eval *expr.EvalCtx, in, out []*expr.Row) ([]*expr.Row, error) {
 	for _, r := range in {
-		tv, err := expr.EvalPred(ctx.Eval, f.Pred, r)
+		tv, err := expr.EvalPred(eval, f.Pred, r)
 		if err != nil {
 			return nil, err
 		}
 		if tv == expr.True {
 			out = append(out, r)
 		}
+	}
+	return out, nil
+}
+
+// scanFilter fuses scan and filter over one slab snapshot, partitioning it
+// contiguously across the pool's workers. Partition results are concatenated
+// in partition order, so output order — and therefore every downstream
+// result — is byte-identical to the sequential plan regardless of worker
+// count or scheduling.
+func (f *Filter) scanFilter(ctx *ExecCtx, s *Scan) ([]*expr.Row, error) {
+	tuples := s.Table.Tuples()
+	n := len(tuples)
+	if n < ParallelScanMinRows {
+		in := s.materialize(ctx, tuples)
+		return f.filterInto(ctx.Eval, in, in[:0])
+	}
+	parts := ctx.Pool.Workers()
+	if parts > n {
+		parts = n
+	}
+	per := (n + parts - 1) / parts
+	results := make([][]*expr.Row, parts)
+	err := ctx.Pool.Do(parts, func(pi int) error {
+		lo, hi := pi*per, (pi+1)*per
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			return nil
+		}
+		// Per-partition arena and eval context: the shared ones are not
+		// goroutine-safe. The predicate is UDF-free (gated above), so no
+		// runtime state or invocation counters are touched.
+		pctx := &ExecCtx{
+			Eval:  &expr.EvalCtx{Runtime: ctx.Eval.Runtime},
+			Stats: &Stats{},
+			Arena: &expr.RowArena{},
+		}
+		in := s.materialize(pctx, tuples[lo:hi])
+		out, err := f.filterInto(pctx.Eval, in, in[:0])
+		results[pi] = out
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx.Stats.RowsScanned += int64(n)
+	total := 0
+	for _, p := range results {
+		total += len(p)
+	}
+	out := make([]*expr.Row, 0, total)
+	for _, p := range results {
+		out = append(out, p...)
 	}
 	return out, nil
 }
@@ -174,25 +307,40 @@ func (j *Join) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 // joinRows joins two materialized inputs; exported via JoinMaterialized for
 // the IVM module, which re-joins deltas against stored inputs.
 func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, error) {
+	// A TruePred residual means the keys cover the whole join condition —
+	// nothing to evaluate per emitted row.
+	_, condTrue := j.Cond.(expr.TruePred)
 	var out []*expr.Row
 	if j.Hash() {
 		ctx.Stats.HashJoins++
-		ht := make(map[string][]*expr.Row, len(right))
 		rOffset := len(j.L.Schema().Cols)
+		if fast, ok, err := j.hashJoinInt(ctx, left, right, rOffset); ok {
+			return fast, err
+		}
+		ht := make(map[uint64][]*expr.Row, len(right))
 		for _, r := range right {
-			key, ok := hashKey(r, j.HashKeysR, rOffset)
+			h, ok := hashRowKey(r, j.HashKeysR, rOffset)
 			if !ok {
 				continue // NULL join keys never match (SQL semantics)
 			}
-			ht[key] = append(ht[key], r)
+			ht[h] = append(ht[h], r)
 		}
 		for _, l := range left {
-			key, ok := hashKey(l, j.HashKeysL, 0)
+			h, ok := hashRowKey(l, j.HashKeysL, 0)
 			if !ok {
 				continue
 			}
-			for _, r := range ht[key] {
-				row := expr.JoinRows(j.rs, l, r)
+			for _, r := range ht[h] {
+				// Hash equality is necessary, not sufficient: verify the key
+				// columns before emitting (collisions never produce rows).
+				if !joinKeysEqual(l, j.HashKeysL, r, j.HashKeysR, rOffset) {
+					continue
+				}
+				row := ctx.Arena.JoinRows(j.rs, l, r)
+				if condTrue {
+					out = append(out, row)
+					continue
+				}
 				tv, err := expr.EvalPred(ctx.Eval, j.Cond, row)
 				if err != nil {
 					return nil, err
@@ -208,7 +356,11 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 	for _, l := range left {
 		for _, r := range right {
 			ctx.Stats.JoinPairs++
-			row := expr.JoinRows(j.rs, l, r)
+			row := ctx.Arena.JoinRows(j.rs, l, r)
+			if condTrue {
+				out = append(out, row)
+				continue
+			}
 			tv, err := expr.EvalPred(ctx.Eval, j.Cond, row)
 			if err != nil {
 				return nil, err
@@ -217,11 +369,100 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 				// Rebuild the combined row: evaluating a UDF-bearing
 				// condition (tight design) may have enriched the underlying
 				// tuples after `row` snapshotted their values.
-				out = append(out, expr.JoinRows(j.rs, l, r))
+				out = append(out, ctx.Arena.JoinRows(j.rs, l, r))
 			}
 		}
 	}
 	return out, nil
+}
+
+// hashJoinInt is the single-INT-key join fast path: probe a map[int64]
+// directly instead of hashing values. Exact integer equality replaces the
+// hash-then-verify dance. Returns ok=false — fall back to the generic hashed
+// join — when the key is composite or a non-NULL build-side key is not INT.
+func (j *Join) hashJoinInt(ctx *ExecCtx, left, right []*expr.Row, rOffset int) ([]*expr.Row, bool, error) {
+	if len(j.HashKeysL) != 1 {
+		return nil, false, nil
+	}
+	lk, rk := j.HashKeysL[0], j.HashKeysR[0]-rOffset
+	// Grouped (CSR-style) build table: a pointer-free map from key to a span
+	// in one shared rows array, instead of one []*Row per distinct key. The
+	// garbage collector never scans the span map, and the build side costs
+	// two allocations regardless of key cardinality. A missing key yields the
+	// zero span {0, 0}, i.e. an empty match list.
+	type span struct{ off, n int32 }
+	spans := make(map[int64]span, len(right))
+	for _, r := range right {
+		v := r.Vals[rk]
+		if v.IsNull() {
+			continue // NULL join keys never match
+		}
+		if v.Kind() != types.KindInt {
+			return nil, false, nil
+		}
+		s := spans[v.Int()]
+		s.n++
+		spans[v.Int()] = s
+	}
+	var off int32
+	for k, s := range spans {
+		spans[k] = span{off: off} // n restarts at 0 as the fill cursor
+		off += s.n
+	}
+	build := make([]*expr.Row, off)
+	for _, r := range right {
+		v := r.Vals[rk]
+		if v.IsNull() {
+			continue
+		}
+		s := spans[v.Int()]
+		build[s.off+s.n] = r
+		s.n++
+		spans[v.Int()] = s
+	}
+	if _, condTrue := j.Cond.(expr.TruePred); condTrue {
+		// The keys cover the whole join condition: no residual to evaluate,
+		// and the output cardinality is countable up front, so the output
+		// slice and the arena's chunks are sized exactly.
+		total := 0
+		for _, l := range left {
+			if v := l.Vals[lk]; !v.IsNull() && v.Kind() == types.KindInt {
+				total += int(spans[v.Int()].n)
+			}
+		}
+		ctx.Arena.Reserve(total, total*len(j.rs.Cols), total*len(j.rs.Slots))
+		out := make([]*expr.Row, 0, total)
+		for _, l := range left {
+			v := l.Vals[lk]
+			if v.IsNull() || v.Kind() != types.KindInt {
+				continue
+			}
+			s := spans[v.Int()]
+			for _, r := range build[s.off : s.off+s.n] {
+				out = append(out, ctx.Arena.JoinRows(j.rs, l, r))
+			}
+		}
+		return out, true, nil
+	}
+	var out []*expr.Row
+	for _, l := range left {
+		v := l.Vals[lk]
+		if v.IsNull() || v.Kind() != types.KindInt {
+			continue // non-INT probe keys can never equal an INT build key
+		}
+		s := spans[v.Int()]
+		for _, r := range build[s.off : s.off+s.n] {
+			row := ctx.Arena.JoinRows(j.rs, l, r)
+			tv, err := expr.EvalPred(ctx.Eval, j.Cond, row)
+			if err != nil {
+				return nil, true, err
+			}
+			if tv == expr.True {
+				out = append(out, row)
+			}
+		}
+	}
+	return out, true, nil
 }
 
 // JoinMaterialized exposes the join kernel over explicit inputs (IVM delta
@@ -230,19 +471,29 @@ func (j *Join) JoinMaterialized(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.
 	return j.joinRows(ctx, left, right)
 }
 
-// hashKey builds the composite equi-join key; ok is false when any key
-// column is NULL (such rows can never match under three-valued logic).
-func hashKey(r *expr.Row, keys []int, offset int) (string, bool) {
-	var sb strings.Builder
+// hashRowKey hashes the composite equi-join key through the shared
+// types.Hasher; ok is false when any key column is NULL (such rows can never
+// match under three-valued logic).
+func hashRowKey(r *expr.Row, keys []int, offset int) (uint64, bool) {
+	h := types.NewHasher()
 	for _, k := range keys {
 		v := r.Vals[k-offset]
 		if v.IsNull() {
-			return "", false
+			return 0, false
 		}
-		sb.WriteString(v.Key())
-		sb.WriteByte('|')
+		h.WriteValue(v)
 	}
-	return sb.String(), true
+	return h.Sum64(), true
+}
+
+// joinKeysEqual verifies a hash-bucket candidate pair column by column.
+func joinKeysEqual(l *expr.Row, lKeys []int, r *expr.Row, rKeys []int, rOffset int) bool {
+	for i := range lKeys {
+		if !types.KeyEqual(l.Vals[lKeys[i]], r.Vals[rKeys[i]-rOffset]) {
+			return false
+		}
+	}
+	return true
 }
 
 // Explain renders the subtree.
@@ -424,11 +675,11 @@ func (p *Project) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	}
 	out := make([]*expr.Row, len(in))
 	for i, r := range in {
-		vals := make([]types.Value, len(p.Cols))
+		vals := ctx.Arena.ValSlice(len(p.Cols))
 		for vi, ci := range p.Cols {
 			vals[vi] = r.Vals[ci]
 		}
-		out[i] = &expr.Row{Schema: p.rs, Vals: vals, TIDs: r.TIDs}
+		out[i] = ctx.Arena.NewRow(p.rs, vals, r.TIDs)
 	}
 	return out, nil
 }

@@ -17,7 +17,6 @@ package ivm
 import (
 	"fmt"
 	"sort"
-	"strings"
 	"sync"
 	"time"
 
@@ -84,9 +83,13 @@ type View struct {
 	plan     engine.Plan // join tree over the inputs' Rows leaves
 	constOK  bool        // constant conjuncts verdict (computed once)
 
-	// SPJ result: multiset of combined rows keyed by values + tids.
-	spj      map[string]*spjEntry
-	spjOrder []string
+	// SPJ result: multiset of projected rows. Entries are keyed by the
+	// shared types.Hasher over values + tuple ids; buckets hold every entry
+	// with the same hash and are resolved by exact row identity, so
+	// collisions never merge distinct rows. spjOrder keeps entries in
+	// first-materialization order for deterministic Rows output.
+	spj      map[uint64][]*spjEntry
+	spjOrder []*spjEntry
 
 	// Aggregation result: per-group accumulators.
 	groups map[string]*groupState
@@ -129,7 +132,7 @@ func New(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) (*View, error)
 		// order and truncate at fetch time instead.
 		return nil, fmt.Errorf("ivm: ORDER BY/LIMIT cannot be maintained incrementally")
 	}
-	v := &View{a: a, spj: make(map[string]*spjEntry), groups: make(map[string]*groupState)}
+	v := &View{a: a, spj: make(map[uint64][]*spjEntry), groups: make(map[string]*groupState)}
 
 	leaves := make([]engine.Plan, len(a.Tables))
 	for i, tm := range a.Tables {
@@ -380,29 +383,47 @@ func (in *aliasInput) snapshot() []*expr.Row {
 // applySPJ folds signed combined rows into the multiset result, netting out
 // rows that were deleted and re-inserted unchanged within the batch.
 func (v *View) applySPJ(signed []signedRow) *Delta {
-	net := make(map[string]*signedRow)
-	var order []string
+	type netEntry struct {
+		row  *expr.Row
+		hash uint64
+		sign int
+	}
+	net := make(map[uint64][]*netEntry)
+	var order []*netEntry
 	for _, sr := range signed {
 		row := v.project(sr.row)
-		key := spjKey(row)
-		if e, ok := net[key]; ok {
-			e.sign += sr.sign
-		} else {
-			net[key] = &signedRow{row: row, sign: sr.sign}
-			order = append(order, key)
+		h := spjHash(row)
+		var e *netEntry
+		for _, cand := range net[h] {
+			if spjSameRow(cand.row, row) {
+				e = cand
+				break
+			}
 		}
+		if e != nil {
+			e.sign += sr.sign
+			continue
+		}
+		e = &netEntry{row: row, hash: h, sign: sr.sign}
+		net[h] = append(net[h], e)
+		order = append(order, e)
 	}
 	delta := &Delta{}
-	for _, key := range order {
-		e := net[key]
+	for _, e := range order {
 		if e.sign == 0 {
 			continue
 		}
-		ent, ok := v.spj[key]
-		if !ok {
+		var ent *spjEntry
+		for _, cand := range v.spj[e.hash] {
+			if spjSameRow(cand.row, e.row) {
+				ent = cand
+				break
+			}
+		}
+		if ent == nil {
 			ent = &spjEntry{row: e.row}
-			v.spj[key] = ent
-			v.spjOrder = append(v.spjOrder, key)
+			v.spj[e.hash] = append(v.spj[e.hash], ent)
+			v.spjOrder = append(v.spjOrder, ent)
 		}
 		ent.count += e.sign
 		n := e.sign
@@ -428,17 +449,38 @@ func (v *View) project(r *expr.Row) *expr.Row {
 	return &expr.Row{Schema: v.out.Schema, Vals: vals, TIDs: r.TIDs}
 }
 
-func spjKey(r *expr.Row) string {
-	var sb strings.Builder
+// spjHash hashes a projected row's identity (values then tuple ids) through
+// the shared types.Hasher. Replaces the old string-building key — no
+// per-row fmt.Fprintf, no string allocation.
+func spjHash(r *expr.Row) uint64 {
+	h := types.NewHasher()
 	for _, v := range r.Vals {
-		sb.WriteString(v.Key())
-		sb.WriteByte('|')
+		h.WriteValue(v)
 	}
-	sb.WriteByte('#')
+	h.Fold('#')
 	for _, tid := range r.TIDs {
-		fmt.Fprintf(&sb, "%d,", tid)
+		h.WriteUint64(uint64(tid))
 	}
-	return sb.String()
+	return h.Sum64()
+}
+
+// spjSameRow is exact row identity: equal values (by key semantics, so NULL
+// matches NULL) and equal tuple-id provenance.
+func spjSameRow(a, b *expr.Row) bool {
+	if len(a.Vals) != len(b.Vals) || len(a.TIDs) != len(b.TIDs) {
+		return false
+	}
+	for i := range a.Vals {
+		if !types.KeyEqual(a.Vals[i], b.Vals[i]) {
+			return false
+		}
+	}
+	for i := range a.TIDs {
+		if a.TIDs[i] != b.TIDs[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Rows returns the current view contents (one row per multiset occurrence),
@@ -451,8 +493,7 @@ func (v *View) Rows() []*expr.Row {
 		return v.aggRows()
 	}
 	var out []*expr.Row
-	for _, key := range v.spjOrder {
-		e := v.spj[key]
+	for _, e := range v.spjOrder {
 		for i := 0; i < e.count; i++ {
 			out = append(out, e.row)
 		}
@@ -483,7 +524,7 @@ func (v *View) SizeBytes() int64 {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	var size int64
-	for _, e := range v.spj {
+	for _, e := range v.spjOrder {
 		if e.count > 0 {
 			size += int64(len(e.row.Vals))*8 + int64(len(e.row.TIDs))*8
 		}
@@ -513,7 +554,7 @@ func (v *View) Len() int {
 		return n
 	}
 	n := 0
-	for _, e := range v.spj {
+	for _, e := range v.spjOrder {
 		n += e.count
 	}
 	return n

@@ -1,6 +1,7 @@
 package ivm
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -91,7 +92,15 @@ func enrichTweet(t *testing.T, db *storage.DB, tid int64, sentiment, topic types
 func rowsKey(rows []*expr.Row) []string {
 	keys := make([]string, len(rows))
 	for i, r := range rows {
-		keys[i] = spjKey(r)
+		k := ""
+		for _, v := range r.Vals {
+			k += v.Key() + "|"
+		}
+		k += "#"
+		for _, tid := range r.TIDs {
+			k += fmt.Sprintf("%d,", tid)
+		}
+		keys[i] = k
 	}
 	sort.Strings(keys)
 	return keys

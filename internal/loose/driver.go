@@ -176,7 +176,7 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	res.Rows = rows
 	res.Enrichments = d.Mgr.Counters().Enrichments - before
 	res.Stats = *ctx.Stats
-	ctx.Stats.Publish(d.Mgr.Telemetry().Add)
+	ctx.PublishStats(d.Mgr.Telemetry().Add)
 	return res, nil
 }
 

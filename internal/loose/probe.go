@@ -243,7 +243,7 @@ func semiJoinReduce(root string, g joinGraph, reduced map[string][]*expr.Row, sc
 		if err != nil {
 			return nil, err
 		}
-		rows, err = semiJoin(rows, schemas[root], childRows, schemas[e.other], e.conds, ctx)
+		rows, err = SemiJoin(rows, schemas[root], childRows, schemas[e.other], e.conds, ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -251,10 +251,12 @@ func semiJoinReduce(root string, g joinGraph, reduced map[string][]*expr.Row, sc
 	return rows, nil
 }
 
-// semiJoin keeps the left rows that join with at least one right row under
+// SemiJoin keeps the left rows that join with at least one right row under
 // the conjunction of conds. Pure equi-join conditions use a hash table; any
-// other shape falls back to a nested loop.
-func semiJoin(left []*expr.Row, leftRS *expr.RowSchema, right []*expr.Row, rightRS *expr.RowSchema, conds []expr.Expr, ctx *engine.ExecCtx) ([]*expr.Row, error) {
+// other shape falls back to a nested loop. Exported as the semi-join kernel:
+// the probe generator is its only production caller, but the kernel benchmark
+// suite drives it directly.
+func SemiJoin(left []*expr.Row, leftRS *expr.RowSchema, right []*expr.Row, rightRS *expr.RowSchema, conds []expr.Expr, ctx *engine.ExecCtx) ([]*expr.Row, error) {
 	if len(left) == 0 || len(conds) == 0 {
 		return left, nil
 	}
@@ -286,13 +288,29 @@ func semiJoin(left []*expr.Row, leftRS *expr.RowSchema, right []*expr.Row, right
 
 	var out []*expr.Row
 	if hashable {
-		ht := make(map[string]bool, len(right))
+		// Build a hashed key set over the right side. Buckets hold one
+		// representative row per distinct key; probes verify column equality
+		// so hash collisions never produce spurious matches. Like the
+		// original string-key implementation, NULL keys match NULL here —
+		// the semi-join only bounds the probe's candidate set, and the final
+		// query applies real SQL semantics.
+		ht := make(map[uint64][]*expr.Row, len(right))
+	build:
 		for _, r := range right {
-			ht[r.Key(rKeys)] = true
+			h := semiKeyHash(r, rKeys)
+			for _, cand := range ht[h] {
+				if semiKeysEqual(cand, rKeys, r, rKeys) {
+					continue build
+				}
+			}
+			ht[h] = append(ht[h], r)
 		}
 		for _, l := range left {
-			if ht[l.Key(lKeys)] {
-				out = append(out, l)
+			for _, r := range ht[semiKeyHash(l, lKeys)] {
+				if semiKeysEqual(l, lKeys, r, rKeys) {
+					out = append(out, l)
+					break
+				}
 			}
 		}
 		return out, nil
@@ -321,4 +339,24 @@ func semiJoin(left []*expr.Row, leftRS *expr.RowSchema, right []*expr.Row, right
 		}
 	}
 	return out, nil
+}
+
+// semiKeyHash hashes the key columns of a row through the shared
+// types.Hasher. NULLs hash like any other value (see SemiJoin).
+func semiKeyHash(r *expr.Row, keys []int) uint64 {
+	h := types.NewHasher()
+	for _, k := range keys {
+		h.WriteValue(r.Vals[k])
+	}
+	return h.Sum64()
+}
+
+// semiKeysEqual verifies a candidate pair column by column.
+func semiKeysEqual(l *expr.Row, lKeys []int, r *expr.Row, rKeys []int) bool {
+	for i := range lKeys {
+		if !types.KeyEqual(l.Vals[lKeys[i]], r.Vals[rKeys[i]]) {
+			return false
+		}
+	}
+	return true
 }

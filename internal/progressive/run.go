@@ -74,6 +74,12 @@ type Config struct {
 	// battery).
 	Workers int
 
+	// NoParallelScan keeps query-plan scans and filters sequential even when
+	// Workers > 1. Parallel scan+filter is a pure throughput knob — partition
+	// results are concatenated in slab order, so output is byte-identical
+	// either way; disable it to isolate enrichment parallelism in ablations.
+	NoParallelScan bool
+
 	// PerRowUDF disables the tight runtime's micro-batching, so every
 	// read_udf call pays InvokeOverhead individually — the paper's per-row
 	// UDF execution mode (7.72 vs 7.46 ms/tweet, §5.2.1). Off by default:
@@ -211,8 +217,14 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Design: cfg.Design}
 	countersBefore := cfg.Mgr.Counters()
 	ctx := engine.NewExecCtx()
+	if !cfg.NoParallelScan && cfg.Workers > 1 {
+		// The epoch scheduler doubles as the engine's scan pool, so plan
+		// execution and enrichment share one worker budget.
+		ctx.Pool = sched
+	}
 	reg := cfg.Mgr.Telemetry()
 	epochWall := reg.Histogram("epoch.wall_ms", telemetry.LatencyBucketsMs)
+	registerStorageGauges(reg, cfg.DB)
 
 	// ---- Epoch e₀: query setup (§3.3.1). ----
 	setupStart := time.Now()
@@ -733,6 +745,18 @@ func targetsSummary(plan []PlanItem) string {
 		fmt.Fprintf(&sb, "%s.%s/%d:%d", k.rel, k.attr, k.fn, counts[k])
 	}
 	return sb.String()
+}
+
+// registerStorageGauges publishes the database's storage counters as
+// storage.* gauges, computed at snapshot time. Registering the same DB twice
+// (repeated runs over one manager) just replaces the closures.
+func registerStorageGauges(reg *telemetry.Registry, db *storage.DB) {
+	reg.GaugeFunc("storage.inserts", func() int64 { return db.Stats().Inserts })
+	reg.GaugeFunc("storage.deletes", func() int64 { return db.Stats().Deletes })
+	reg.GaugeFunc("storage.updates", func() int64 { return db.Stats().Updates })
+	reg.GaugeFunc("storage.compactions", func() int64 { return db.Stats().Compactions })
+	reg.GaugeFunc("storage.live_tuples", func() int64 { return db.Stats().Live })
+	reg.GaugeFunc("storage.tombstones", func() int64 { return db.Stats().Tombstones })
 }
 
 func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, error) {

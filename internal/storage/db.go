@@ -39,6 +39,23 @@ func (d *DB) Table(name string) (*Table, error) {
 	return t, nil
 }
 
+// Stats aggregates the storage counters of every table; the progressive
+// executor publishes them as storage.* telemetry gauges.
+func (d *DB) Stats() TableStats {
+	var s TableStats
+	for _, t := range d.tables {
+		ts := t.Stats()
+		s.Inserts += ts.Inserts
+		s.Deletes += ts.Deletes
+		s.Updates += ts.Updates
+		s.Compactions += ts.Compactions
+		s.Live += ts.Live
+		s.Tombstones += ts.Tombstones
+		s.Indexes += ts.Indexes
+	}
+	return s
+}
+
 // MustTable is Table that panics; for callers that already validated names
 // against the catalog.
 func (d *DB) MustTable(name string) *Table {

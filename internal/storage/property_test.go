@@ -31,7 +31,7 @@ func TestTableModelProperty(t *testing.T) {
 		var order []int64
 
 		for step := 0; step < 300; step++ {
-			switch r.Intn(4) {
+			switch r.Intn(6) {
 			case 0: // insert
 				id := int64(r.Intn(100) + 1)
 				a := int64(r.Intn(10))
@@ -97,6 +97,45 @@ func TestTableModelProperty(t *testing.T) {
 					if model[id] != a {
 						t.Fatalf("trial %d step %d: index returned id %d with a=%d",
 							trial, step, id, model[id])
+					}
+				}
+			case 4: // IndexScan-shaped lookup: tuples by indexed value
+				a := int64(r.Intn(10))
+				tus, ok := tbl.IndexTuples("a", types.NewInt(a))
+				if !ok {
+					t.Fatalf("trial %d: index vanished", trial)
+				}
+				want := 0
+				for _, ma := range model {
+					if ma == a {
+						want++
+					}
+				}
+				if len(tus) != want {
+					t.Fatalf("trial %d step %d: IndexTuples(a=%d) has %d tuples, model %d",
+						trial, step, a, len(tus), want)
+				}
+				for _, tu := range tus {
+					if got, exists := model[tu.ID]; !exists || got != a {
+						t.Fatalf("trial %d step %d: IndexTuples(a=%d) returned id %d (model a=%d, exists=%v)",
+							trial, step, a, tu.ID, got, exists)
+					}
+					if tu.Vals[1].Int() != a {
+						t.Fatalf("trial %d step %d: IndexTuples(a=%d) returned tuple with a=%d",
+							trial, step, a, tu.Vals[1].Int())
+					}
+				}
+			case 5: // snapshot order: Tuples and IDs must mirror insertion order
+				snap := tbl.Tuples()
+				ids := tbl.IDs()
+				if len(snap) != len(order) || len(ids) != len(order) {
+					t.Fatalf("trial %d step %d: snapshot lens %d/%d, model %d",
+						trial, step, len(snap), len(ids), len(order))
+				}
+				for i, id := range order {
+					if snap[i].ID != id || ids[i] != id {
+						t.Fatalf("trial %d step %d: snapshot order[%d] = %d/%d, want %d",
+							trial, step, i, snap[i].ID, ids[i], id)
 					}
 				}
 			}

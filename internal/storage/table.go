@@ -1,7 +1,8 @@
 // Package storage implements the in-memory table store backing the engine.
-// Tables hold tuples keyed by id, maintain optional hash indexes on fixed
-// attributes, and support in-place updates of derived attributes — the write
-// path enrichment uses when a function's output is determinized into a value.
+// Tables hold tuples in an ordered slab keyed by id, maintain optional hash
+// indexes on fixed attributes, and support in-place updates of derived
+// attributes — the write path enrichment uses when a function's output is
+// determinized into a value.
 package storage
 
 import (
@@ -15,22 +16,46 @@ import (
 // Table is one stored relation. It is safe for concurrent readers with
 // exclusive writers; the coarse RWMutex is sufficient at the engine's epoch
 // granularity (all enrichment writes of an epoch are applied in one batch).
+//
+// Storage layout: tuples live in a dense slab ordered by insertion, with
+// deletions leaving nil tombstones and an id→slot map giving O(1) point
+// access. A scan is a straight walk over the slab — no per-scan sort, no
+// per-row map lookup — and the slab compacts in place once tombstones
+// outnumber live tuples, so a long delete-heavy run cannot degrade scans.
 type Table struct {
 	schema *catalog.Schema
 
 	mu     sync.RWMutex
-	rows   map[int64]*types.Tuple
-	order  []int64 // insertion order, for deterministic scans
+	slab   []*types.Tuple // insertion order; nil entries are tombstones
+	slot   map[int64]int  // tuple id -> slab position
+	live   int            // non-tombstone count
 	nextID int64
 
 	indexes map[string]*hashIndex // fixed-column name -> index
+
+	// Lifetime counters (guarded by mu); surfaced via Stats for the
+	// storage.* telemetry gauges.
+	inserts, deletes, updates, compactions int64
 }
+
+// TableStats is a point-in-time snapshot of a table's (or database's)
+// storage counters.
+type TableStats struct {
+	Inserts, Deletes, Updates int64
+	Compactions               int64
+	Live, Tombstones          int64
+	Indexes                   int64
+}
+
+// compactMinSlab is the slab length below which deletions never trigger a
+// compaction (churn on tiny tables is cheaper than copying).
+const compactMinSlab = 64
 
 // NewTable creates an empty table for the schema.
 func NewTable(s *catalog.Schema) *Table {
 	return &Table{
 		schema:  s,
-		rows:    make(map[int64]*types.Tuple),
+		slot:    make(map[int64]int),
 		indexes: make(map[string]*hashIndex),
 		nextID:  1,
 	}
@@ -43,7 +68,22 @@ func (t *Table) Schema() *catalog.Schema { return t.schema }
 func (t *Table) Len() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.order)
+	return t.live
+}
+
+// Stats returns the table's storage counters.
+func (t *Table) Stats() TableStats {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return TableStats{
+		Inserts:     t.inserts,
+		Deletes:     t.deletes,
+		Updates:     t.updates,
+		Compactions: t.compactions,
+		Live:        int64(t.live),
+		Tombstones:  int64(len(t.slab) - t.live),
+		Indexes:     int64(len(t.indexes)),
+	}
 }
 
 // Insert stores a tuple. A zero ID is auto-assigned; explicit ids must be
@@ -61,14 +101,16 @@ func (t *Table) Insert(tu *types.Tuple) (int64, error) {
 	if tu.ID >= t.nextID {
 		t.nextID = tu.ID + 1
 	}
-	if _, dup := t.rows[tu.ID]; dup {
+	if _, dup := t.slot[tu.ID]; dup {
 		return 0, fmt.Errorf("storage: %s: duplicate tuple id %d", t.schema.Name, tu.ID)
 	}
-	t.rows[tu.ID] = tu
-	t.order = append(t.order, tu.ID)
+	t.slot[tu.ID] = len(t.slab)
+	t.slab = append(t.slab, tu)
+	t.live++
+	t.inserts++
 	for col, idx := range t.indexes {
 		ci := t.schema.ColIndex(col)
-		idx.add(tu.Vals[ci].Key(), tu.ID)
+		idx.add(tu.Vals[ci], tu.ID)
 	}
 	return tu.ID, nil
 }
@@ -78,7 +120,10 @@ func (t *Table) Insert(tu *types.Tuple) (int64, error) {
 func (t *Table) Get(id int64) *types.Tuple {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.rows[id]
+	if i, ok := t.slot[id]; ok {
+		return t.slab[i]
+	}
+	return nil
 }
 
 // Update replaces the value of one column of one tuple, returning the old
@@ -90,39 +135,64 @@ func (t *Table) Update(id int64, col string, v types.Value) (types.Value, error)
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	tu := t.rows[id]
-	if tu == nil {
+	i, ok := t.slot[id]
+	if !ok {
 		return types.Null, fmt.Errorf("storage: %s: no tuple %d", t.schema.Name, id)
 	}
+	tu := t.slab[i]
 	old := tu.Vals[ci]
 	if idx, ok := t.indexes[col]; ok {
-		idx.remove(old.Key(), id)
-		idx.add(v.Key(), id)
+		idx.remove(old, id)
+		idx.add(v, id)
 	}
 	tu.Vals[ci] = v
+	t.updates++
 	return old, nil
 }
 
-// Delete removes a tuple, returning it (or nil if absent).
+// Delete removes a tuple, returning it (or nil if absent). The slab slot
+// becomes a tombstone; once tombstones outnumber live tuples the slab
+// compacts in place, preserving insertion order.
 func (t *Table) Delete(id int64) *types.Tuple {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	tu := t.rows[id]
-	if tu == nil {
+	i, ok := t.slot[id]
+	if !ok {
 		return nil
 	}
-	delete(t.rows, id)
-	for i, oid := range t.order {
-		if oid == id {
-			t.order = append(t.order[:i], t.order[i+1:]...)
-			break
-		}
-	}
+	tu := t.slab[i]
+	t.slab[i] = nil
+	delete(t.slot, id)
+	t.live--
+	t.deletes++
 	for col, idx := range t.indexes {
 		ci := t.schema.ColIndex(col)
-		idx.remove(tu.Vals[ci].Key(), id)
+		idx.remove(tu.Vals[ci], id)
+	}
+	if len(t.slab) >= compactMinSlab && t.live*2 <= len(t.slab) {
+		t.compact()
 	}
 	return tu
+}
+
+// compact rewrites the slab without tombstones and rebuilds the slot map.
+// Caller holds t.mu. Insertion order is preserved, so scans before and after
+// a compaction observe the same sequence.
+func (t *Table) compact() {
+	dst := 0
+	for _, tu := range t.slab {
+		if tu == nil {
+			continue
+		}
+		t.slab[dst] = tu
+		t.slot[tu.ID] = dst
+		dst++
+	}
+	for i := dst; i < len(t.slab); i++ {
+		t.slab[i] = nil // release tails for GC
+	}
+	t.slab = t.slab[:dst]
+	t.compactions++
 }
 
 // Scan calls fn for every tuple in insertion order, stopping early if fn
@@ -131,19 +201,43 @@ func (t *Table) Delete(id int64) *types.Tuple {
 func (t *Table) Scan(fn func(*types.Tuple) bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for _, id := range t.order {
-		if !fn(t.rows[id]) {
+	for _, tu := range t.slab {
+		if tu == nil {
+			continue
+		}
+		if !fn(tu) {
 			return
 		}
 	}
+}
+
+// Tuples returns a snapshot slice of all stored tuples in insertion order.
+// The slice is freshly allocated (safe to partition across goroutines after
+// the call returns); the tuples are the stored ones and must not be mutated.
+// This is the entry point of the partitioned parallel scan: one short lock
+// hold, then lock-free row materialization.
+func (t *Table) Tuples() []*types.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*types.Tuple, 0, t.live)
+	for _, tu := range t.slab {
+		if tu != nil {
+			out = append(out, tu)
+		}
+	}
+	return out
 }
 
 // IDs returns all tuple ids in insertion order.
 func (t *Table) IDs() []int64 {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]int64, len(t.order))
-	copy(out, t.order)
+	out := make([]int64, 0, t.live)
+	for _, tu := range t.slab {
+		if tu != nil {
+			out = append(out, tu.ID)
+		}
+	}
 	return out
 }
 
@@ -164,8 +258,10 @@ func (t *Table) CreateIndex(col string) error {
 		return nil
 	}
 	idx := newHashIndex()
-	for _, id := range t.order {
-		idx.add(t.rows[id].Vals[ci].Key(), id)
+	for _, tu := range t.slab {
+		if tu != nil {
+			idx.add(tu.Vals[ci], tu.ID)
+		}
 	}
 	t.indexes[col] = idx
 	return nil
@@ -180,7 +276,9 @@ func (t *Table) HasIndex(col string) bool {
 }
 
 // LookupIndex returns the tuple ids whose indexed column equals the value,
-// and whether an index on the column exists.
+// and whether an index on the column exists. The returned slice aliases
+// index state; callers must not mutate it and should copy if they hold it
+// across table mutations.
 func (t *Table) LookupIndex(col string, v types.Value) ([]int64, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
@@ -188,29 +286,91 @@ func (t *Table) LookupIndex(col string, v types.Value) ([]int64, bool) {
 	if !ok {
 		return nil, false
 	}
-	return idx.lookup(v.Key()), true
+	return idx.lookup(v), true
 }
 
-// hashIndex is an equality index from value key to tuple ids.
-type hashIndex struct {
-	m map[string][]int64
-}
-
-func newHashIndex() *hashIndex { return &hashIndex{m: make(map[string][]int64)} }
-
-func (h *hashIndex) add(key string, id int64) { h.m[key] = append(h.m[key], id) }
-
-func (h *hashIndex) remove(key string, id int64) {
-	ids := h.m[key]
-	for i, x := range ids {
-		if x == id {
-			h.m[key] = append(ids[:i], ids[i+1:]...)
-			break
+// IndexTuples returns the stored tuples whose indexed column equals the
+// value, in one lock hold (id lookup + slab dereference), and whether an
+// index on the column exists.
+func (t *Table) IndexTuples(col string, v types.Value) ([]*types.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[col]
+	if !ok {
+		return nil, false
+	}
+	ids := idx.lookup(v)
+	out := make([]*types.Tuple, 0, len(ids))
+	for _, id := range ids {
+		if i, ok := t.slot[id]; ok {
+			out = append(out, t.slab[i])
 		}
 	}
-	if len(h.m[key]) == 0 {
-		delete(h.m, key)
+	return out, true
+}
+
+// hashIndex is an equality index from value to tuple ids, keyed by the
+// shared types.Hasher. Buckets hold the indexed value so lookups verify
+// candidate equality (hash collisions never produce false matches).
+type hashIndex struct {
+	m map[uint64][]indexEntry
+}
+
+type indexEntry struct {
+	val types.Value
+	ids []int64
+}
+
+func newHashIndex() *hashIndex { return &hashIndex{m: make(map[uint64][]indexEntry)} }
+
+func (h *hashIndex) add(v types.Value, id int64) {
+	k := types.HashValue(v)
+	bucket := h.m[k]
+	for i := range bucket {
+		if types.KeyEqual(bucket[i].val, v) {
+			bucket[i].ids = append(bucket[i].ids, id)
+			return
+		}
+	}
+	h.m[k] = append(bucket, indexEntry{val: v, ids: []int64{id}})
+}
+
+// remove deletes one id from the value's posting list by swap-remove: O(1)
+// per delete instead of shifting the tail. Posting-list order is therefore
+// not insertion order after a delete — deterministic, but unordered.
+func (h *hashIndex) remove(v types.Value, id int64) {
+	k := types.HashValue(v)
+	bucket := h.m[k]
+	for bi := range bucket {
+		if !types.KeyEqual(bucket[bi].val, v) {
+			continue
+		}
+		ids := bucket[bi].ids
+		for i, x := range ids {
+			if x == id {
+				ids[i] = ids[len(ids)-1]
+				bucket[bi].ids = ids[:len(ids)-1]
+				break
+			}
+		}
+		if len(bucket[bi].ids) == 0 {
+			bucket[bi] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+			if len(bucket) == 0 {
+				delete(h.m, k)
+			} else {
+				h.m[k] = bucket
+			}
+		}
+		return
 	}
 }
 
-func (h *hashIndex) lookup(key string) []int64 { return h.m[key] }
+func (h *hashIndex) lookup(v types.Value) []int64 {
+	for _, e := range h.m[types.HashValue(v)] {
+		if types.KeyEqual(e.val, v) {
+			return e.ids
+		}
+	}
+	return nil
+}

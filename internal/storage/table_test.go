@@ -214,3 +214,149 @@ func TestIDs(t *testing.T) {
 		t.Errorf("IDs = %v (insertion order expected)", ids)
 	}
 }
+
+// TestIndexSwapRemove is the regression test for the O(1) swap-remove delete
+// path: deleting from the middle of a posting list must keep every remaining
+// id findable, and re-adding the deleted id must work.
+func TestIndexSwapRemove(t *testing.T) {
+	tb := testTable(t)
+	if err := tb.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	// Five tuples sharing a=7, one with a=9.
+	for i := int64(1); i <= 5; i++ {
+		if _, err := tb.Insert(mkTuple(i, 7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tb.Insert(mkTuple(6, 9)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Delete from the middle, then the head, of the a=7 posting list.
+	for _, id := range []int64{3, 1} {
+		if tb.Delete(id) == nil {
+			t.Fatalf("Delete(%d) returned nil", id)
+		}
+		ids, ok := tb.LookupIndex("a", types.NewInt(7))
+		if !ok {
+			t.Fatal("index vanished")
+		}
+		for _, got := range ids {
+			if got == id {
+				t.Fatalf("deleted id %d still in posting list %v", id, ids)
+			}
+		}
+	}
+	ids, _ := tb.LookupIndex("a", types.NewInt(7))
+	want := map[int64]bool{2: true, 4: true, 5: true}
+	if len(ids) != len(want) {
+		t.Fatalf("posting list %v, want ids of %v", ids, want)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Fatalf("unexpected id %d in posting list %v", id, ids)
+		}
+	}
+
+	// Update moving a tuple between posting lists exercises remove+add.
+	if _, err := tb.Update(6, "a", types.NewInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ = tb.LookupIndex("a", types.NewInt(7)); len(ids) != 4 {
+		t.Fatalf("after update, posting list %v, want 4 ids", ids)
+	}
+	if ids, _ = tb.LookupIndex("a", types.NewInt(9)); len(ids) != 0 {
+		t.Fatalf("a=9 posting list %v, want empty", ids)
+	}
+
+	// Draining a list entirely must leave lookups clean (bucket removed).
+	for _, id := range []int64{2, 4, 5, 6} {
+		tb.Delete(id)
+	}
+	if ids, _ = tb.LookupIndex("a", types.NewInt(7)); len(ids) != 0 {
+		t.Fatalf("drained posting list still has %v", ids)
+	}
+}
+
+// TestSlabCompaction checks tombstone compaction preserves scan order, point
+// access and index lookups.
+func TestSlabCompaction(t *testing.T) {
+	tb := testTable(t)
+	if err := tb.CreateIndex("a"); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := int64(1); i <= n; i++ {
+		if _, err := tb.Insert(mkTuple(i, i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every odd id: tombstones outnumber live tuples, forcing at
+	// least one compaction.
+	for i := int64(1); i <= n; i += 2 {
+		if tb.Delete(i) == nil {
+			t.Fatalf("Delete(%d) returned nil", i)
+		}
+	}
+	if got := tb.Stats().Compactions; got == 0 {
+		t.Fatal("expected at least one compaction")
+	}
+	if tb.Len() != n/2 {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n/2)
+	}
+	want := int64(2)
+	tb.Scan(func(tu *types.Tuple) bool {
+		if tu.ID != want {
+			t.Fatalf("scan order: got id %d, want %d", tu.ID, want)
+		}
+		want += 2
+		return true
+	})
+	for i := int64(2); i <= n; i += 2 {
+		if tb.Get(i) == nil {
+			t.Fatalf("Get(%d) = nil after compaction", i)
+		}
+	}
+	// a = id%10, so a=4 ids are all even and survive; a=5 ids are all odd
+	// and were all deleted.
+	ids, ok := tb.LookupIndex("a", types.NewInt(4))
+	if !ok || len(ids) != n/10 {
+		t.Fatalf("a=4 posting list %v, want %d ids", ids, n/10)
+	}
+	if ids, _ := tb.LookupIndex("a", types.NewInt(5)); len(ids) != 0 {
+		t.Fatalf("a=5 posting list %v, want empty", ids)
+	}
+	// Insert after compaction keeps appending in order.
+	if _, err := tb.Insert(mkTuple(n+1, 4)); err != nil {
+		t.Fatal(err)
+	}
+	idsList := tb.IDs()
+	if idsList[len(idsList)-1] != n+1 {
+		t.Fatalf("IDs tail = %d, want %d", idsList[len(idsList)-1], n+1)
+	}
+}
+
+// TestTuplesSnapshot checks Tuples returns an insertion-ordered snapshot
+// that is independent of later mutations.
+func TestTuplesSnapshot(t *testing.T) {
+	tb := testTable(t)
+	for i := int64(1); i <= 10; i++ {
+		if _, err := tb.Insert(mkTuple(i, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := tb.Tuples()
+	tb.Delete(5)
+	if len(snap) != 10 {
+		t.Fatalf("snapshot len %d, want 10", len(snap))
+	}
+	for i, tu := range snap {
+		if tu.ID != int64(i+1) {
+			t.Fatalf("snapshot[%d] = id %d, want %d", i, tu.ID, i+1)
+		}
+	}
+	if fresh := tb.Tuples(); len(fresh) != 9 {
+		t.Fatalf("post-delete snapshot len %d, want 9", len(fresh))
+	}
+}

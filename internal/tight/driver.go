@@ -81,7 +81,7 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 		sp.Str("error", err.Error()).End()
 		return nil, err
 	}
-	ctx.Stats.Publish(d.Mgr.Telemetry().Add)
+	ctx.PublishStats(d.Mgr.Telemetry().Add)
 	res := &Result{
 		Rows:           rows,
 		Enrichments:    d.Mgr.Counters().Enrichments - before,
