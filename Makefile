@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race bench bench-kernel bench-smoke fuzz tidy staticcheck trace-demo
+.PHONY: check vet build test race test-race soak bench bench-kernel bench-smoke fuzz tidy staticcheck trace-demo
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
@@ -17,10 +17,11 @@ test:
 
 # Short race pass over the concurrency-heavy packages: the enrichment
 # worker pool, the RPC transport, shared enrichment state, the telemetry
-# registry/tracer they all publish into, and the chaos tests that hammer
-# them.
+# registry/tracer they all publish into, the chaos tests that hammer them,
+# the serving layer (sessions, admission control) and the concurrent
+# workload harness that verifies it.
 race:
-	$(GO) test -race ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/... ./internal/storage/...
+	$(GO) test -race . ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/... ./internal/storage/... ./internal/harness/...
 
 # Full concurrency gate: vet, then the concurrency/chaos/equivalence suites
 # under the race detector, twice (-count=2 defeats the test cache and shakes
@@ -30,6 +31,7 @@ race:
 # equivalence battery (progressive).
 test-race: vet
 	$(GO) test -race -count=2 \
+		. \
 		./internal/enrich/... \
 		./internal/loose/... \
 		./internal/faultinject/... \
@@ -37,7 +39,15 @@ test-race: vet
 		./internal/ivm/... \
 		./internal/storage/... \
 		./internal/progressive/... \
-		./internal/telemetry/...
+		./internal/telemetry/... \
+		./internal/harness/...
+
+# Pinned-seed soak of the serving workload: N seconds of harness iterations
+# under the race detector, every iteration checked by both oracles.
+# Override: make soak SOAK_SECONDS=60
+SOAK_SECONDS ?= 10
+soak:
+	HARNESS_SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 -run TestSoak -timeout $$(( $(SOAK_SECONDS) + 120 ))s ./internal/harness
 
 # Short fuzz pass over the SQL parser (no panics; print/parse round-trip).
 fuzz:

@@ -13,6 +13,19 @@
 // on exit. Without -q it reads queries from stdin, one per line. Special
 // inputs: ".help", ".stats", ".metrics", ".explain <query>",
 // ".design <name>", ".quit".
+//
+// Serving mode:
+//
+//	enrichdb -serve [-writers N] [-serve-sessions M] [-max-sessions K]
+//	         [-session-timeout D] [-seed S] [-seconds T]
+//
+// -serve runs the concurrent serving workload instead of the REPL: N
+// writers commit against the database while M session goroutines run
+// snapshot-isolated loose/tight/progressive/plain queries, under admission
+// control when -max-sessions is set. Every iteration is verified by the
+// deterministic harness oracles (serial-replay equivalence and the
+// monotone-enrichment invariant) and reports its seed; a reported seed
+// reproduces the exact run.
 package main
 
 import (
@@ -27,6 +40,7 @@ import (
 	"enrichdb/internal/bench"
 	"enrichdb/internal/dataset"
 	"enrichdb/internal/expr"
+	"enrichdb/internal/harness"
 	"enrichdb/internal/telemetry"
 )
 
@@ -37,7 +51,21 @@ func main() {
 	query := flag.String("q", "", "single query to run (otherwise read stdin)")
 	traceFile := flag.String("trace", "", "write JSONL spans to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry snapshot on exit")
+	serve := flag.Bool("serve", false, "run the verified concurrent serving workload instead of the REPL")
+	writers := flag.Int("writers", 4, "serving mode: concurrent writers")
+	serveSessions := flag.Int("serve-sessions", 4, "serving mode: concurrent query sessions")
+	maxSessions := flag.Int("max-sessions", 3, "serving mode: admission limit (0 = unlimited)")
+	sessionTimeout := flag.Duration("session-timeout", 5*time.Second, "serving mode: admission queue timeout")
+	seed := flag.Int64("seed", 1, "serving mode: workload seed (each iteration increments it)")
+	seconds := flag.Int("seconds", 5, "serving mode: how long to iterate")
 	flag.Parse()
+
+	if *serve {
+		if err := runServe(*writers, *serveSessions, *maxSessions, *sessionTimeout, *seed, *seconds); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	scale := bench.Small()
 	scale.Tweets = *tweets
@@ -80,6 +108,39 @@ func main() {
 		}
 		fmt.Print("> ")
 	}
+}
+
+// runServe iterates the deterministic serving workload for roughly the given
+// number of seconds, bumping the seed each round so every iteration explores
+// a different interleaving. Any oracle violation aborts with the failing
+// seed and a minimized op trace.
+func runServe(writers, sessions, maxSessions int, timeout time.Duration, seed int64, seconds int) error {
+	fmt.Fprintf(os.Stderr,
+		"serving workload: %d writers x %d sessions (admission %d, timeout %v), seed %d, %ds\n",
+		writers, sessions, maxSessions, timeout, seed, seconds)
+	deadline := time.Now().Add(time.Duration(seconds) * time.Second)
+	iters := 0
+	for time.Now().Before(deadline) {
+		cfg := harness.Config{
+			Seed:         seed,
+			Writers:      writers,
+			Sessions:     sessions,
+			OpsPerWriter: 30,
+			MaxSessions:  maxSessions,
+			QueueTimeout: timeout,
+		}
+		rep, err := harness.Run(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("seed %d: %d commits, %d queries (%d replayed, %d progressive), %d enrichments, %d stale drops, %d rejected, %d images observed\n",
+			rep.Seed, rep.Commits, rep.Queries, rep.Replayed, rep.Progressive,
+			rep.Enrichments, rep.StaleDrops, rep.Rejected, rep.ObservedImages)
+		seed++
+		iters++
+	}
+	fmt.Fprintf(os.Stderr, "%d iterations, all verified by serial replay and the monotone oracle\n", iters)
+	return nil
 }
 
 type runner struct {

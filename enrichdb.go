@@ -22,6 +22,8 @@ package enrichdb
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"enrichdb/internal/catalog"
@@ -81,9 +83,24 @@ type Column struct {
 type Classifier = ml.Classifier
 
 // DB is an enrichdb database instance.
+//
+// A DB is safe for concurrent use. Writes (Insert, Update, Delete) serialize
+// through a commit path that stamps each commit with a monotonic version;
+// queries on the DB itself read the live tables (read-committed), while
+// Session provides snapshot-isolated reads over a frozen version. Derived
+// values written back by query-time enrichment are not commits: they carry
+// no version and are guarded by tuple generations instead.
 type DB struct {
 	store *storage.DB
 	mgr   *enrich.Manager
+
+	// commitMu serializes the write path; version is the commit counter it
+	// advances. Version reads are atomic so sessions can tag snapshots
+	// without taking the commit lock.
+	commitMu sync.Mutex
+	version  atomic.Uint64
+
+	serving atomic.Pointer[admission]
 
 	enricher loose.Enricher
 	servers  []*remote.Server
@@ -124,7 +141,7 @@ func (db *DB) CreateRelation(name string, cols []Column) error {
 
 // CreateIndex builds a hash index on a fixed column.
 func (db *DB) CreateIndex(relation, column string) error {
-	tbl, err := db.store.Table(relation)
+	tbl, err := db.store.Base(relation)
 	if err != nil {
 		return err
 	}
@@ -135,11 +152,18 @@ func (db *DB) CreateIndex(relation, column string) error {
 // Derived attributes should be inserted as Null (they are enriched at query
 // time). A zero id auto-assigns.
 func (db *DB) Insert(relation string, id int64, values ...Value) (int64, error) {
-	tbl, err := db.store.Table(relation)
+	tbl, err := db.store.Base(relation)
 	if err != nil {
 		return 0, err
 	}
-	return tbl.Insert(&types.Tuple{ID: id, Vals: values})
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
+	tid, err := tbl.Insert(&types.Tuple{ID: id, Vals: values})
+	if err != nil {
+		return 0, err
+	}
+	db.version.Add(1)
+	return tid, nil
 }
 
 // InsertEnriched stores a tuple and eagerly enriches every derived
@@ -185,36 +209,49 @@ func (db *DB) InsertEnriched(relation string, id int64, values ...Value) (int64,
 // resets its enrichment state (§3.3.5 of the paper): stale derived values
 // must be recomputed.
 func (db *DB) Update(relation string, id int64, column string, v Value) error {
-	tbl, err := db.store.Table(relation)
+	tbl, err := db.store.Base(relation)
 	if err != nil {
 		return err
 	}
-	if _, err := tbl.Update(id, column, v); err != nil {
-		return err
-	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	schema := tbl.Schema()
 	if c := schema.Col(column); c != nil && !c.Derived {
-		db.mgr.ResetTuple(relation, id)
-		// Clear now-stale determined values.
-		for _, dc := range schema.DerivedCols() {
-			if _, err := tbl.Update(id, dc, types.Null); err != nil {
-				return err
-			}
+		if tbl.Get(id) == nil {
+			return fmt.Errorf("enrichdb: %s has no tuple %d", relation, id)
+		}
+		// A fixed-attribute write supersedes the tuple's enrichment (§3.3.5).
+		// Invalidate the shared state first, at the generation the commit
+		// installs, so enrichment of the old image arriving in the window is
+		// dropped and enrichment of the new image is never invalidated; then
+		// swap the new fixed value and the cleared derived values in as one
+		// atomic image (readers never see a torn half-updated tuple).
+		db.mgr.ResetTupleGen(relation, id, tbl.Gen(id)+1)
+		if _, err := tbl.CommitFixed(id, column, v); err != nil {
+			return err
+		}
+	} else {
+		if _, err := tbl.Update(id, column, v); err != nil {
+			return err
 		}
 	}
+	db.version.Add(1)
 	return nil
 }
 
 // Delete removes a tuple and its enrichment state.
 func (db *DB) Delete(relation string, id int64) error {
-	tbl, err := db.store.Table(relation)
+	tbl, err := db.store.Base(relation)
 	if err != nil {
 		return err
 	}
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	if tbl.Delete(id) == nil {
 		return fmt.Errorf("enrichdb: %s has no tuple %d", relation, id)
 	}
 	db.mgr.ResetTuple(relation, id)
+	db.version.Add(1)
 	return nil
 }
 

@@ -19,7 +19,7 @@ import (
 //     disjunctions and UDFs, reproducing the optimizer behaviour the paper
 //     observes on Q8 (rewritten conditions force a nested loop);
 //   - aggregation and projection are added per the select list.
-func Build(a *Analysis, db *storage.DB) (Plan, error) {
+func Build(a *Analysis, db storage.Source) (Plan, error) {
 	return BuildOpt(a, db, BuildOptions{})
 }
 
@@ -38,7 +38,7 @@ type BuildOptions struct {
 }
 
 // BuildOpt is Build with optimizer toggles.
-func BuildOpt(a *Analysis, db *storage.DB, opts BuildOptions) (Plan, error) {
+func BuildOpt(a *Analysis, db storage.Source, opts BuildOptions) (Plan, error) {
 	if len(a.Tables) == 0 {
 		return nil, fmt.Errorf("engine: query has no tables")
 	}
@@ -378,7 +378,7 @@ func configureJoin(j *Join, conds []JoinCond, leftSchema *expr.RowSchema, rightA
 // chooseAccessPath selects an IndexScan when the pushed predicate contains
 // an equality between an indexed column and a constant, returning the leaf
 // plan and the residual predicate (nil when fully absorbed).
-func chooseAccessPath(tbl *storage.Table, alias string, push expr.Expr) (Plan, expr.Expr) {
+func chooseAccessPath(tbl storage.Relation, alias string, push expr.Expr) (Plan, expr.Expr) {
 	if push == nil {
 		return NewScan(tbl, alias), nil
 	}
@@ -402,7 +402,7 @@ func chooseAccessPath(tbl *storage.Table, alias string, push expr.Expr) (Plan, e
 
 // indexableEquality matches conjuncts of the form col = const (either
 // orientation) where col has a hash index.
-func indexableEquality(e expr.Expr, tbl *storage.Table) (col string, val types.Value, ok bool) {
+func indexableEquality(e expr.Expr, tbl storage.Relation) (col string, val types.Value, ok bool) {
 	cmp, isCmp := e.(*expr.Cmp)
 	if !isCmp || cmp.Op != expr.EQ {
 		return "", types.Null, false

@@ -12,7 +12,7 @@ import (
 // replacing a full scan when the planner finds an equality predicate over an
 // indexed fixed column.
 type IndexScan struct {
-	Table *storage.Table
+	Table storage.Relation
 	Alias string
 	Col   string
 	Val   types.Value
@@ -20,7 +20,7 @@ type IndexScan struct {
 }
 
 // NewIndexScan builds an index-scan leaf.
-func NewIndexScan(t *storage.Table, alias, col string, val types.Value) *IndexScan {
+func NewIndexScan(t storage.Relation, alias, col string, val types.Value) *IndexScan {
 	if alias == "" {
 		alias = t.Schema().Name
 	}
@@ -42,8 +42,14 @@ func (s *IndexScan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 		return nil, fmt.Errorf("engine: index on %s.%s disappeared", s.Table.Schema().Name, s.Col)
 	}
 	out := make([]*expr.Row, len(tuples))
-	for i, tu := range tuples {
-		out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
+	if ctx.CopyRows {
+		for i, tu := range tuples {
+			out[i] = ctx.Arena.RowFromTupleCopy(s.rs, tu)
+		}
+	} else {
+		for i, tu := range tuples {
+			out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
+		}
 	}
 	ctx.Stats.RowsScanned += int64(len(out))
 	ctx.Stats.IndexScans++

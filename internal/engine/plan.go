@@ -57,6 +57,11 @@ type ExecCtx struct {
 	// Pool, when non-nil with more than one worker, enables the partitioned
 	// parallel scan+filter path. Leaving it nil keeps execution sequential.
 	Pool Pool
+	// CopyRows makes scans materialize rows with owned value slices instead
+	// of aliasing the immutable stored tuples. The tight driver enables it
+	// (together with Eval.PatchRows) so UDF evaluation can patch freshly
+	// enriched derived values into rows already flowing through the plan.
+	CopyRows bool
 }
 
 // NewExecCtx returns a context with fresh counters, a fresh row arena, and
@@ -89,13 +94,13 @@ type Plan interface {
 
 // Scan reads every tuple of a base table.
 type Scan struct {
-	Table *storage.Table
+	Table storage.Relation
 	Alias string
 	rs    *expr.RowSchema
 }
 
 // NewScan builds a scan node.
-func NewScan(t *storage.Table, alias string) *Scan {
+func NewScan(t storage.Relation, alias string) *Scan {
 	return &Scan{Table: t, Alias: alias, rs: expr.SchemaForTable(alias, t.Schema())}
 }
 
@@ -114,8 +119,14 @@ func (s *Scan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 func (s *Scan) materialize(ctx *ExecCtx, tuples []*types.Tuple) []*expr.Row {
 	ctx.Arena.Reserve(len(tuples), 0, len(tuples))
 	out := make([]*expr.Row, len(tuples))
-	for i, tu := range tuples {
-		out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
+	if ctx.CopyRows {
+		for i, tu := range tuples {
+			out[i] = ctx.Arena.RowFromTupleCopy(s.rs, tu)
+		}
+	} else {
+		for i, tu := range tuples {
+			out[i] = ctx.Arena.RowFromTuple(s.rs, tu)
+		}
 	}
 	ctx.Stats.RowsScanned += int64(len(out))
 	return out
@@ -233,9 +244,10 @@ func (f *Filter) scanFilter(ctx *ExecCtx, s *Scan) ([]*expr.Row, error) {
 		// goroutine-safe. The predicate is UDF-free (gated above), so no
 		// runtime state or invocation counters are touched.
 		pctx := &ExecCtx{
-			Eval:  &expr.EvalCtx{Runtime: ctx.Eval.Runtime},
-			Stats: &Stats{},
-			Arena: &expr.RowArena{},
+			Eval:     &expr.EvalCtx{Runtime: ctx.Eval.Runtime},
+			Stats:    &Stats{},
+			Arena:    &expr.RowArena{},
+			CopyRows: ctx.CopyRows,
 		}
 		in := s.materialize(pctx, tuples[lo:hi])
 		out, err := f.filterInto(pctx.Eval, in, in[:0])
@@ -366,10 +378,10 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 				return nil, err
 			}
 			if tv == expr.True {
-				// Rebuild the combined row: evaluating a UDF-bearing
-				// condition (tight design) may have enriched the underlying
-				// tuples after `row` snapshotted their values.
-				out = append(out, ctx.Arena.JoinRows(j.rs, l, r))
+				// The combined row owns its values (JoinRows copies), so a
+				// UDF-bearing condition (tight design) patched any values it
+				// enriched into `row` itself — emit it as evaluated.
+				out = append(out, row)
 			}
 		}
 	}

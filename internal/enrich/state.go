@@ -68,6 +68,12 @@ type StateTable struct {
 	families []*Family
 	cutoff   float64
 	rows     map[int64][]*AttrState
+	// gens tracks, per tuple, the fixed-data generation the stored state
+	// belongs to (absent = generation 0, matching freshly inserted tuples).
+	// Generation-guarded writes compare against it so a session that computed
+	// enrichment from a superseded tuple image cannot clobber state that was
+	// reset by a newer committed write (§3.3.5 under concurrency).
+	gens map[int64]uint64
 }
 
 // newStateTable creates an empty state table.
@@ -76,6 +82,7 @@ func newStateTable(relation string) *StateTable {
 		Relation: relation,
 		attrIdx:  make(map[string]int),
 		rows:     make(map[int64][]*AttrState),
+		gens:     make(map[int64]uint64),
 	}
 }
 
@@ -144,6 +151,11 @@ func (st *StateTable) ensure(tid int64, ai int) *AttrState {
 func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float64) (stored bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	return st.setOutputLocked(tid, attr, fnID, probs)
+}
+
+// setOutputLocked is SetOutput's body; caller must hold st.mu.
+func (st *StateTable) setOutputLocked(tid int64, attr string, fnID int, probs []float64) (stored bool, err error) {
 	ai, ok := st.attrIdx[attr]
 	if !ok {
 		return false, fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
@@ -167,6 +179,27 @@ func (st *StateTable) SetOutput(tid int64, attr string, fnID int, probs []float6
 	s.Outputs[fnID] = out
 	s.Bitmap |= 1 << uint(fnID)
 	return true, nil
+}
+
+// SetOutputAt is SetOutput guarded by the tuple's fixed-data generation:
+// when gen differs from the table's recorded generation for the tuple, the
+// write is dropped (stale=true) — the output was computed from a tuple image
+// a newer committed write has since superseded.
+func (st *StateTable) SetOutputAt(tid int64, attr string, fnID int, probs []float64, gen uint64) (stored, stale bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gens[tid] != gen {
+		return false, true, nil
+	}
+	stored, err = st.setOutputLocked(tid, attr, fnID, probs)
+	return stored, false, err
+}
+
+// GenOf returns the fixed-data generation the tuple's state belongs to.
+func (st *StateTable) GenOf(tid int64) uint64 {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.gens[tid]
 }
 
 // Executed reports whether function fnID of (tid, attr) has run, reading
@@ -240,11 +273,42 @@ func (st *StateTable) SetValue(tid int64, attr string, v types.Value) error {
 	return nil
 }
 
+// SetValueAt is SetValue guarded by the tuple's fixed-data generation; a
+// stale determinization (computed against a superseded tuple image) is
+// silently dropped.
+func (st *StateTable) SetValueAt(tid int64, attr string, v types.Value, gen uint64) (stale bool, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.gens[tid] != gen {
+		return true, nil
+	}
+	ai, ok := st.attrIdx[attr]
+	if !ok {
+		return false, fmt.Errorf("enrich: %s has no derived attribute %s", st.Relation, attr)
+	}
+	st.ensure(tid, ai).Value = v
+	return false, nil
+}
+
 // ResetTuple clears all enrichment state of a tuple — the paper's handling
 // of non-conflicting base-table updates (§3.3.5).
 func (st *StateTable) ResetTuple(tid int64) {
 	st.mu.Lock()
 	delete(st.rows, tid)
+	st.mu.Unlock()
+}
+
+// ResetTupleGen clears a tuple's state and advances its recorded fixed-data
+// generation, invalidating in-flight enrichment computed from older tuple
+// images: their generation-guarded writes will no longer match.
+func (st *StateTable) ResetTupleGen(tid int64, gen uint64) {
+	st.mu.Lock()
+	delete(st.rows, tid)
+	if gen == 0 {
+		delete(st.gens, tid)
+	} else {
+		st.gens[tid] = gen
+	}
 	st.mu.Unlock()
 }
 

@@ -114,6 +114,26 @@ func (a *RowArena) RowFromTuple(rs *RowSchema, t *types.Tuple) *Row {
 	return r
 }
 
+// RowFromTupleCopy is RowFromTuple with an owned value slice: the tuple's
+// values are copied into arena-backed storage so the row can be patched in
+// place (EvalCtx.PatchRows) without mutating the immutable stored tuple.
+func (a *RowArena) RowFromTupleCopy(rs *RowSchema, t *types.Tuple) *Row {
+	if a == nil {
+		vals := make([]types.Value, len(t.Vals))
+		copy(vals, t.Vals)
+		return &Row{Schema: rs, Vals: vals, TIDs: []int64{t.ID}}
+	}
+	r := a.next()
+	r.Schema = rs
+	vals := a.valSlice(len(t.Vals))
+	copy(vals, t.Vals)
+	r.Vals = vals
+	tid := a.tidSlice(1)
+	tid[0] = t.ID
+	r.TIDs = tid
+	return r
+}
+
 // JoinRows is the arena-backed counterpart of the package-level JoinRows.
 func (a *RowArena) JoinRows(rs *RowSchema, l, r *Row) *Row {
 	if a == nil {

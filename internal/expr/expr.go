@@ -105,6 +105,13 @@ type EvalCtx struct {
 	// UDFInvocations counts every UDF call evaluated through this context;
 	// the paper's Exp 4 measures this invocation overhead.
 	UDFInvocations int64
+	// PatchRows lets GetValue/read_udf calls write the value they return
+	// into the evaluated row's derived column, so operators above the filter
+	// (projection, grouping) observe enrichment performed during this query.
+	// Stored tuples are copy-on-write and rows normally alias tuple values,
+	// so this must only be enabled when the executor materializes rows that
+	// own their value slices (engine.ExecCtx.CopyRows).
+	PatchRows bool
 }
 
 // EnrichRuntime is the service interface behind the tight design's UDFs
@@ -516,6 +523,7 @@ type UDFCall struct {
 	Attr  string // derived attribute name
 
 	slot     int
+	valIdx   int // index of alias.Attr in the row's values; -1 if absent
 	relation string
 	bound    bool
 }
@@ -543,12 +551,26 @@ func (u *UDFCall) Eval(ctx *EvalCtx, row *Row) (types.Value, error) {
 		}
 		return types.NewBool(ok), nil
 	case UDFGetValue:
-		return ctx.Runtime.GetValue(u.relation, tid, u.Attr)
+		v, err := ctx.Runtime.GetValue(u.relation, tid, u.Attr)
+		u.patch(ctx, row, v, err)
+		return v, err
 	case UDFReadUDF:
-		return ctx.Runtime.ReadUDF(u.relation, tid, u.Attr)
+		v, err := ctx.Runtime.ReadUDF(u.relation, tid, u.Attr)
+		u.patch(ctx, row, v, err)
+		return v, err
 	default:
 		return types.Null, fmt.Errorf("expr: unknown UDF kind %d", u.Kind)
 	}
+}
+
+// patch writes a freshly determined derived value into the row itself (see
+// EvalCtx.PatchRows). Tuples are immutable, so without this the row would
+// keep showing the pre-enrichment value it was materialized with.
+func (u *UDFCall) patch(ctx *EvalCtx, row *Row, v types.Value, err error) {
+	if err != nil || !ctx.PatchRows || u.valIdx < 0 || v.IsNull() {
+		return
+	}
+	row.Vals[u.valIdx] = v
 }
 
 // Resolve binds the call to its table slot.
@@ -559,6 +581,10 @@ func (u *UDFCall) Resolve(rs *RowSchema) error {
 	}
 	u.slot = si
 	u.relation = rs.Slots[si].Relation
+	u.valIdx = -1
+	if vi, err := rs.Lookup(u.Alias, u.Attr); err == nil {
+		u.valIdx = vi
+	}
 	u.bound = true
 	return nil
 }

@@ -1,0 +1,155 @@
+package harness
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"enrichdb"
+)
+
+// TestRunSmall is the quick deterministic check: a modest concurrent
+// workload must satisfy both oracles.
+func TestRunSmall(t *testing.T) {
+	rep, err := Run(Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Commits == 0 || rep.Queries == 0 {
+		t.Fatalf("degenerate run: %+v", rep)
+	}
+	if rep.Replayed == 0 {
+		t.Fatalf("replay oracle verified no queries: %+v", rep)
+	}
+	if rep.Enrichments == 0 {
+		t.Fatalf("workload performed no enrichment: %+v", rep)
+	}
+}
+
+// TestRunSeeds sweeps several seeds; each is an independent deterministic
+// workload, so a regression in snapshot isolation or enrichment sharing has
+// several chances to produce a replay mismatch.
+func TestRunSeeds(t *testing.T) {
+	for seed := int64(2); seed <= 6; seed++ {
+		seed := seed
+		t.Run(strconv.FormatInt(seed, 10), func(t *testing.T) {
+			t.Parallel()
+			if _, err := Run(Config{Seed: seed, Writers: 3, Sessions: 3}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestRunWithAdmission exercises the admission-control path: fewer slots
+// than session goroutines forces queueing, and a generous timeout keeps the
+// workload live. Rejections are allowed but the run must still pass both
+// oracles.
+func TestRunWithAdmission(t *testing.T) {
+	rep, err := Run(Config{
+		Seed:        7,
+		Writers:     2,
+		Sessions:    4,
+		MaxSessions: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Queries == 0 {
+		t.Fatalf("admission starved every session: %+v", rep)
+	}
+}
+
+// TestSoak is the acceptance soak: at least 4 writers x 4 query sessions
+// covering all three enrichment query paths (plus plain reads), run under
+// -race in CI. HARNESS_SOAK_SECONDS extends it (CI pins 60); the default
+// keeps `go test` fast while still running one full heavy iteration.
+func TestSoak(t *testing.T) {
+	dur := 2 * time.Second
+	if s := os.Getenv("HARNESS_SOAK_SECONDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad HARNESS_SOAK_SECONDS %q: %v", s, err)
+		}
+		dur = time.Duration(n) * time.Second
+	}
+	const baseSeed = 1000
+	start := time.Now()
+	iters := 0
+	for time.Since(start) < dur {
+		cfg := Config{
+			Seed:              int64(baseSeed + iters),
+			Writers:           4,
+			Sessions:          4,
+			OpsPerWriter:      30,
+			QueriesPerSession: 8, // 2 full rotations: loose, tight, progressive, plain
+			MaxSessions:       3,
+		}
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Progressive == 0 {
+			t.Fatalf("seed %d: progressive path never ran: %+v", cfg.Seed, rep)
+		}
+		iters++
+	}
+	t.Logf("soak: %d iterations in %s", iters, time.Since(start).Round(time.Millisecond))
+}
+
+// TestMinimizerShrinks plants a deliberate replay mismatch — a recorded
+// result that no replay can reproduce — and checks the delta debugger
+// shrinks the op trace while preserving the failure.
+func TestMinimizerShrinks(t *testing.T) {
+	cfg := Config{Seed: 42}.withDefaults()
+	// Build a history of 30 inserts; the recorded "result" is garbage, so
+	// every valid subset fails, and the minimizer should shrink to nothing
+	// (or nearly nothing).
+	var ops []committed
+	for i := 1; i <= 30; i++ {
+		ops = append(ops, committed{
+			Version: uint64(i),
+			Op:      op{Kind: "insert", ID: int64(i), Grp: 0, Vec: []float64{0, 1, 2}},
+		})
+	}
+	q := recordedQuery{
+		Version: 30,
+		Design:  "plain",
+		SQL:     "SELECT id FROM events WHERE grp = 3",
+		Result:  "impossible",
+	}
+	minimal := minimizeOps(cfg, ops, q)
+	if len(minimal) >= len(ops) {
+		t.Fatalf("minimizer did not shrink: %d -> %d ops", len(ops), len(minimal))
+	}
+}
+
+// TestCanonOrderInsensitive pins the canonical rendering: row order must not
+// matter, values and header must.
+func TestCanonOrderInsensitive(t *testing.T) {
+	db, err := newDB(Config{}.withDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	for i := int64(1); i <= 3; i++ {
+		if _, err := db.Insert(relation, i, enrichdb.Int(i), enrichdb.Vector([]float64{0, float64(i), 0}), enrichdb.Int(1), enrichdb.Null); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, err := db.Query("SELECT id, grp FROM events WHERE grp = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.Query("SELECT id, grp FROM events WHERE grp = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canon(a) != canon(b) {
+		t.Fatalf("canon not stable:\n%s\nvs\n%s", canon(a), canon(b))
+	}
+	if canon(a) == "" {
+		t.Fatal("empty canonical rendering")
+	}
+}

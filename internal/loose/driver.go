@@ -10,6 +10,7 @@ import (
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
+	"enrichdb/internal/types"
 )
 
 // Timing breaks a loose query execution into the components of Table 11.
@@ -65,7 +66,7 @@ func (r *Result) recordFailure(msg string) {
 // Driver executes queries with the non-progressive loose design of §2.1:
 // probe → batch enrich at the server → write back → run the original query.
 type Driver struct {
-	DB  *storage.DB
+	DB  storage.Source
 	Mgr *enrich.Manager
 	// Enricher is the enrichment server (local or remote). Defaults to a
 	// LocalEnricher over Mgr.
@@ -75,8 +76,9 @@ type Driver struct {
 	Tracer *telemetry.Tracer
 }
 
-// NewDriver builds a loose driver with an in-process enrichment server.
-func NewDriver(db *storage.DB, mgr *enrich.Manager) *Driver {
+// NewDriver builds a loose driver with an in-process enrichment server. The
+// source may be a live database or a session's snapshot view.
+func NewDriver(db storage.Source, mgr *enrich.Manager) *Driver {
 	return &Driver{DB: db, Mgr: mgr, Enricher: &LocalEnricher{Mgr: mgr}}
 }
 
@@ -207,13 +209,31 @@ func (d *Driver) BuildRequests(probes []ProbeResult) ([]Request, error) {
 				}
 				fi := schema.ColIndex(col.FeatureCol)
 				feature := tu.Vals[fi].Vector()
+				needed := 0
 				for _, fn := range fam.Functions {
-					if d.Mgr.Enriched(p.Relation, tid, attr, fn.ID) {
+					if d.Mgr.EnrichedAt(p.Relation, tid, attr, fn.ID, tu.Gen) {
 						continue
 					}
+					needed++
 					reqs = append(reqs, Request{
-						Relation: p.Relation, TID: tid, Attr: attr, FnID: fn.ID, Feature: feature,
+						Relation: p.Relation, TID: tid, Attr: attr, FnID: fn.ID,
+						Feature: feature, Gen: tu.Gen,
 					})
+				}
+				// Every function already executed, yet the image value is
+				// NULL: a peer session enriched this image but its determined
+				// value hadn't reached the base table when this source
+				// snapshotted it (state writes first). Determinize from the
+				// shared state — no function runs — and patch the image, so
+				// the query sees the same answer the peer's did.
+				if ai := schema.ColIndex(attr); needed == 0 && ai >= 0 && tu.Vals[ai].IsNull() {
+					v, err := d.Mgr.DetermineAt(p.Relation, tid, attr, feature, tu.Gen)
+					if err != nil {
+						return nil, err
+					}
+					if err := writeDerived(tbl, tid, attr, v, tu.Gen); err != nil {
+						return nil, err
+					}
 				}
 			}
 		}
@@ -231,18 +251,22 @@ func (d *Driver) WriteBack(resps []Response) error {
 		tid  int64
 		attr string
 	}
-	touched := make(map[ta][]float64)
+	type genFeature struct {
+		feature []float64
+		gen     uint64
+	}
+	touched := make(map[ta]genFeature)
 	for _, r := range resps {
 		if r.Failed() {
 			continue
 		}
-		if err := d.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
+		if err := d.Mgr.ApplyOutputGen(r.Relation, r.TID, r.Attr, r.FnID, r.Probs, r.Gen); err != nil {
 			return err
 		}
-		touched[ta{r.Relation, r.TID, r.Attr}] = r.Feature(d.DB)
+		touched[ta{r.Relation, r.TID, r.Attr}] = genFeature{r.Feature(d.DB), r.Gen}
 	}
-	for k, feature := range touched {
-		v, err := d.Mgr.Determine(k.rel, k.tid, k.attr, feature)
+	for k, gf := range touched {
+		v, err := d.Mgr.DetermineAt(k.rel, k.tid, k.attr, gf.feature, gf.gen)
 		if err != nil {
 			return err
 		}
@@ -250,16 +274,29 @@ func (d *Driver) WriteBack(resps []Response) error {
 		if err != nil {
 			return err
 		}
-		if _, err := tbl.Update(k.tid, k.attr, v); err != nil {
+		if err := writeDerived(tbl, k.tid, k.attr, v, gf.gen); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
+// writeDerived stores a determined value through the relation. A snapshot
+// view's Update is already generation-guarded (and keeps the session-local
+// image visible); a live table gets the generation-guarded derived write so
+// a concurrent commit's newer data is never clobbered by this stale value.
+func writeDerived(rel storage.Relation, tid int64, attr string, v types.Value, gen uint64) error {
+	if bt, ok := rel.(*storage.Table); ok {
+		_, err := bt.UpdateDerivedAt(tid, attr, v, gen)
+		return err
+	}
+	_, err := rel.Update(tid, attr, v)
+	return err
+}
+
 // Feature re-reads the tuple's feature vector for the response's attribute
 // (needed by determinization's cutoff re-execution path).
-func (r Response) Feature(db *storage.DB) []float64 {
+func (r Response) Feature(db storage.Source) []float64 {
 	tbl, err := db.Table(r.Relation)
 	if err != nil {
 		return nil

@@ -18,6 +18,11 @@ type Request struct {
 	Attr     string
 	FnID     int
 	Feature  []float64
+	// Gen is the fixed-data generation of the tuple image Feature was read
+	// from. The manager keys its cross-session dedup on it and drops the
+	// output if a committed write supersedes the generation before the
+	// result lands (first-write-wins applies only within one generation).
+	Gen uint64
 }
 
 // Response carries one function's probability output back to the DBMS side.
@@ -30,6 +35,8 @@ type Response struct {
 	Attr     string
 	FnID     int
 	Probs    []float64
+	// Gen echoes the request's tuple generation (see Request.Gen).
+	Gen uint64
 	// Err is the per-request failure message ("" on success). A string, not
 	// an error, so responses cross the gob/RPC transport unchanged.
 	Err string
@@ -40,7 +47,7 @@ func (r Response) Failed() bool { return r.Err != "" }
 
 // FailResponse builds the failed response for a request.
 func FailResponse(r Request, msg string) Response {
-	return Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Err: msg}
+	return Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Gen: r.Gen, Err: msg}
 }
 
 // BatchTiming splits a batch's cost into the components Table 11 reports.
@@ -114,12 +121,13 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 		tid  int64
 		attr string
 		fn   int
+		gen  uint64
 	}
 	unique := make(map[reqKey]int, len(reqs))
 	var order []int
 	dup := make([]int, len(reqs)) // index of the canonical request, or own index
 	for i, r := range reqs {
-		k := reqKey{r.Relation, r.TID, r.Attr, r.FnID}
+		k := reqKey{r.Relation, r.TID, r.Attr, r.FnID, r.Gen}
 		if first, seen := unique[k]; seen {
 			dup[i] = first
 			continue
@@ -188,9 +196,11 @@ func (e *LocalEnricher) EnrichBatch(reqs []Request) ([]Response, BatchTiming, er
 // run executes one request, converting a panic in the enrichment function (a
 // buggy model, a malformed feature vector) into that request's failure
 // instead of crashing the worker pool — and, server-side, the shared
-// enrichment server.
+// enrichment server. Execution goes through the manager's generation-keyed
+// singleflight, so identical requests in concurrent batches from different
+// query sessions share one function run.
 func (e *LocalEnricher) run(r Request, panics *telemetry.Counter) (resp Response) {
-	resp = Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID}
+	resp = Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr, FnID: r.FnID, Gen: r.Gen}
 	defer func() {
 		if p := recover(); p != nil {
 			panics.Inc()
@@ -199,8 +209,11 @@ func (e *LocalEnricher) run(r Request, panics *telemetry.Counter) (resp Response
 				r.Relation, r.Attr, r.FnID, r.TID, p)
 		}
 	}()
-	fam := e.Mgr.Family(r.Relation, r.Attr)
-	resp.Probs = fam.Functions[r.FnID].Run(r.Feature)
+	probs, err := e.Mgr.SharedCompute(r.Relation, r.TID, r.Attr, r.FnID, r.Feature, r.Gen)
+	if err != nil {
+		return FailResponse(r, err.Error())
+	}
+	resp.Probs = probs
 	return resp
 }
 

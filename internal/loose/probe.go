@@ -54,12 +54,12 @@ type ProbeOptions struct {
 //	Step 4: the probe result is the reduced, semi-join-filtered tuple set,
 //	        keeping only tuples with at least one not-fully-enriched
 //	        attribute.
-func GenerateProbes(a *engine.Analysis, db *storage.DB, mgr *enrich.Manager, ctx *engine.ExecCtx) ([]ProbeResult, error) {
+func GenerateProbes(a *engine.Analysis, db storage.Source, mgr *enrich.Manager, ctx *engine.ExecCtx) ([]ProbeResult, error) {
 	return GenerateProbesOpt(a, db, mgr, ctx, ProbeOptions{})
 }
 
 // GenerateProbesOpt is GenerateProbes with strategy toggles.
-func GenerateProbesOpt(a *engine.Analysis, db *storage.DB, mgr *enrich.Manager, ctx *engine.ExecCtx, opts ProbeOptions) ([]ProbeResult, error) {
+func GenerateProbesOpt(a *engine.Analysis, db storage.Source, mgr *enrich.Manager, ctx *engine.ExecCtx, opts ProbeOptions) ([]ProbeResult, error) {
 	if ctx == nil {
 		ctx = engine.NewExecCtx()
 	}
@@ -95,7 +95,14 @@ func GenerateProbesOpt(a *engine.Analysis, db *storage.DB, mgr *enrich.Manager, 
 			}
 		}
 		// Step 4: keep tuples that still need enrichment (Figure 3's bitmap
-		// test, via the manager).
+		// test, via the manager). Prior work counts only when it matches the
+		// tuple image this source exposes (generation check), so a snapshot
+		// session re-enriches tuples whose shared state a later committed
+		// write has superseded.
+		tbl, err := db.Table(tm.Relation)
+		if err != nil {
+			return nil, err
+		}
 		var tids []int64
 		for _, r := range rows {
 			tid := r.TIDs[0]
@@ -103,8 +110,20 @@ func GenerateProbesOpt(a *engine.Analysis, db *storage.DB, mgr *enrich.Manager, 
 				tids = append(tids, tid)
 				continue
 			}
+			tu := tbl.Get(tid)
+			if tu == nil {
+				continue
+			}
 			for _, attr := range attrs {
-				if !mgr.FullyEnriched(tm.Relation, tid, attr) {
+				// A fully enriched tuple whose image still carries NULL is
+				// kept too: another session may have executed the functions
+				// after this source snapshotted the tuple but before the
+				// determined value reached the base table (state writes
+				// first). BuildRequests patches such tuples from the shared
+				// state without re-running anything.
+				ai := tbl.Schema().ColIndex(attr)
+				if !mgr.FullyEnrichedAt(tm.Relation, tid, attr, tu.Gen) ||
+					(ai >= 0 && tu.Vals[ai].IsNull()) {
 					tids = append(tids, tid)
 					break
 				}
@@ -125,7 +144,7 @@ func GenerateProbesOpt(a *engine.Analysis, db *storage.DB, mgr *enrich.Manager, 
 // tuple when C holds on the current determined values OR some Aᵢ is not yet
 // fully enriched (the paper's (⋁ Aᵢ IS NULL) ∨ C rewrite, generalized to the
 // progressive bitmap test).
-func reduceAlias(a *engine.Analysis, tm engine.TableMeta, db *storage.DB, mgr *enrich.Manager, ctx *engine.ExecCtx, opts ProbeOptions) ([]*expr.Row, *expr.RowSchema, error) {
+func reduceAlias(a *engine.Analysis, tm engine.TableMeta, db storage.Source, mgr *enrich.Manager, ctx *engine.ExecCtx, opts ProbeOptions) ([]*expr.Row, *expr.RowSchema, error) {
 	tbl, err := db.Table(tm.Relation)
 	if err != nil {
 		return nil, nil, err
@@ -174,7 +193,17 @@ func reduceAlias(a *engine.Analysis, tm engine.TableMeta, db *storage.DB, mgr *e
 				if enrichable {
 					break
 				}
-				if ref.Alias == tm.Alias && !mgr.FullyEnriched(tm.Relation, t.ID, ref.Attr) {
+				if ref.Alias != tm.Alias {
+					continue
+				}
+				if !mgr.FullyEnrichedAt(tm.Relation, t.ID, ref.Attr, t.Gen) {
+					enrichable = true
+					continue
+				}
+				// Fully enriched but the image value never arrived (a peer
+				// session's determined value was racing this snapshot):
+				// patching from state could still change the verdict.
+				if ai := tm.Schema.ColIndex(ref.Attr); ai >= 0 && t.Vals[ai].IsNull() {
 					enrichable = true
 				}
 			}

@@ -119,7 +119,7 @@ func TestPlanPropertyNeverReplansConsumedOrEnriched(t *testing.T) {
 	d, mgr := propFixture(t)
 	rng := rand.New(rand.NewSource(4002))
 	feats := func(rel string, tid int64, attr string) []float64 {
-		f, err := featureOf(d.DB, rel, tid, attr)
+		f, _, err := featureOf(d.DB, rel, tid, attr)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,7 +199,7 @@ func TestCompactPropertyKeepsExactlyPending(t *testing.T) {
 					case 0:
 						space.Consume(PlanItem{Alias: e.Alias, Relation: e.Relation, TID: e.TID, Attr: attr, FnID: fn.ID})
 					case 1:
-						f, err := featureOf(d.DB, e.Relation, e.TID, attr)
+						f, _, err := featureOf(d.DB, e.Relation, e.TID, attr)
 						if err != nil {
 							t.Fatal(err)
 						}

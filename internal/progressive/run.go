@@ -1,6 +1,7 @@
 package progressive
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -142,6 +143,10 @@ type EpochReport struct {
 	// Config.CollectDeltas is set.
 	InsertedRows, DeletedRows []*expr.Row
 	PlanTableBytes            int64
+	// EnrichErr is set when the epoch's whole enrichment batch was lost
+	// (dead or hung server after retries); the epoch enriched nothing and
+	// its triplets were re-planned (DESIGN §6).
+	EnrichErr string
 }
 
 // Overheads aggregates the non-enrichment costs of Exp 4.
@@ -173,6 +178,10 @@ type Result struct {
 	PlanSpaceBytes int64 // at setup
 	MaxPlanBytes   int64
 	ViewBytes      int64
+
+	// FailedEpochs counts epochs whose whole enrichment batch was lost to
+	// a transport failure and that therefore enriched nothing (DESIGN §6).
+	FailedEpochs int
 }
 
 // Run executes a query progressively per the paper's §3.3 loop: setup in
@@ -334,12 +343,22 @@ func Run(cfg Config) (*Result, error) {
 		spEnrich := cfg.Tracer.Start("epoch.enrich").Epoch(epoch).
 			Str("design", cfg.Design.String()).
 			Str("targets", targetsSummary(plan))
+		epochFailed := false
 		switch cfg.Design {
 		case Loose:
 			timing, err := runLooseEpoch(cfg, sched, plan, epoch)
 			if err != nil {
-				spEnrich.Str("error", err.Error()).End()
-				return nil, err
+				// Whole-batch transport loss (DESIGN §6): the epoch enriched
+				// nothing, but the query degrades rather than dies. The
+				// planned triplets are not consumed, so the next epoch
+				// re-plans exactly them — a recovered server resumes where
+				// the dead one left off, and a dead-forever server just
+				// yields the e₀ answer after MaxEpochs.
+				spEnrich.Str("error", err.Error())
+				rep.EnrichErr = err.Error()
+				res.FailedEpochs++
+				epochFailed = true
+				break
 			}
 			rep.EnrichTime = timing.Compute
 			rep.NetworkTime = timing.Network
@@ -351,8 +370,10 @@ func Run(cfg Config) (*Result, error) {
 			}
 			rep.EnrichTime = cfg.Mgr.Counters().EnrichTime - enrichBefore
 		}
-		for _, it := range plan {
-			space.Consume(it)
+		if !epochFailed {
+			for _, it := range plan {
+				space.Consume(it)
+			}
 		}
 		execAfter := cfg.Mgr.Counters()
 		rep.Executed = execAfter.Enrichments - execBefore.Enrichments
@@ -508,12 +529,17 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem, epoch i
 		if cfg.Mgr.Enriched(it.Relation, it.TID, it.Attr, it.FnID) {
 			continue
 		}
-		feature, err := featureOf(cfg.DB, it.Relation, it.TID, it.Attr)
+		feature, gen, err := featureOf(cfg.DB, it.Relation, it.TID, it.Attr)
+		if errors.Is(err, errTupleGone) {
+			// A committed delete raced the epoch; the plan item is moot.
+			continue
+		}
 		if err != nil {
 			return loose.BatchTiming{}, err
 		}
 		reqs = append(reqs, loose.Request{
-			Relation: it.Relation, TID: it.TID, Attr: it.Attr, FnID: it.FnID, Feature: feature,
+			Relation: it.Relation, TID: it.TID, Attr: it.Attr, FnID: it.FnID,
+			Feature: feature, Gen: gen,
 		})
 	}
 	if len(reqs) == 0 {
@@ -536,7 +562,7 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem, epoch i
 			// a later epoch's plan simply re-selects the same triplet.
 			continue
 		}
-		if err := cfg.Mgr.ApplyOutput(r.Relation, r.TID, r.Attr, r.FnID, r.Probs); err != nil {
+		if err := cfg.Mgr.ApplyOutputGen(r.Relation, r.TID, r.Attr, r.FnID, r.Probs, r.Gen); err != nil {
 			return timing, err
 		}
 		k := ta{r.Relation, r.TID, r.Attr}
@@ -551,19 +577,25 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem, epoch i
 	// the manager's singleflight.
 	err = sched.DoTraced(cfg.Tracer, "epoch.determinize", epoch, len(keys), func(i int) error {
 		k := keys[i]
-		feature, err := featureOf(cfg.DB, k.rel, k.tid, k.attr)
+		feature, gen, err := featureOf(cfg.DB, k.rel, k.tid, k.attr)
+		if errors.Is(err, errTupleGone) {
+			// A committed delete raced the write-back; nothing to determinize.
+			return nil
+		}
 		if err != nil {
 			return err
 		}
-		v, err := cfg.Mgr.Determine(k.rel, k.tid, k.attr, feature)
+		v, err := cfg.Mgr.DetermineAt(k.rel, k.tid, k.attr, feature, gen)
 		if err != nil {
 			return err
 		}
-		tbl, err := cfg.DB.Table(k.rel)
+		tbl, err := cfg.DB.Base(k.rel)
 		if err != nil {
 			return err
 		}
-		_, err = tbl.Update(k.tid, k.attr, v)
+		// Generation-guarded derived write: a base-table commit racing this
+		// epoch invalidates the determinization instead of being clobbered.
+		_, err = tbl.UpdateDerivedAt(k.tid, k.attr, v, gen)
 		return err
 	})
 	return timing, err
@@ -759,19 +791,26 @@ func registerStorageGauges(reg *telemetry.Registry, db *storage.DB) {
 	reg.GaugeFunc("storage.tombstones", func() int64 { return db.Stats().Tombstones })
 }
 
-func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, error) {
+// errTupleGone marks a plan item whose tuple a concurrent committed delete
+// removed between planning and execution; epochs skip it (read-committed)
+// instead of aborting the query.
+var errTupleGone = errors.New("progressive: tuple deleted during epoch")
+
+// featureOf reads the tuple's feature vector for a derived attribute plus
+// the fixed-data generation of the tuple image it was read from.
+func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, uint64, error) {
 	tbl, err := db.Table(relation)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	tu := tbl.Get(tid)
 	if tu == nil {
-		return nil, fmt.Errorf("progressive: %s has no tuple %d", relation, tid)
+		return nil, 0, errTupleGone
 	}
 	schema := tbl.Schema()
 	col := schema.Col(attr)
 	if col == nil {
-		return nil, fmt.Errorf("progressive: %s has no column %s", relation, attr)
+		return nil, 0, fmt.Errorf("progressive: %s has no column %s", relation, attr)
 	}
-	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), nil
+	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), tu.Gen, nil
 }

@@ -2,13 +2,54 @@ package storage
 
 import (
 	"fmt"
+	"sync"
 
 	"enrichdb/internal/catalog"
+	"enrichdb/internal/types"
 )
 
-// DB groups the catalog and the stored tables of one database instance.
+// Relation is the surface query execution reads and enriches through: the
+// live *Table, or a session's frozen *TableView. Reads return immutable
+// tuples (storage is copy-on-write); Update is the derived-value write-back
+// path — direct on a live table, generation-guarded write-through on a view.
+type Relation interface {
+	Schema() *catalog.Schema
+	Len() int
+	Get(id int64) *types.Tuple
+	Scan(fn func(*types.Tuple) bool)
+	Tuples() []*types.Tuple
+	IDs() []int64
+	HasIndex(col string) bool
+	IndexTuples(col string, v types.Value) ([]*types.Tuple, bool)
+	Update(id int64, col string, v types.Value) (types.Value, error)
+}
+
+var (
+	_ Relation = (*Table)(nil)
+	_ Relation = (*TableView)(nil)
+)
+
+// Source resolves relation names for query execution: the live *DB or a
+// point-in-time *Snapshot. Everything above storage (engine, probe
+// generation, the design drivers) executes against this interface, so one
+// code path serves both live and snapshot-isolated queries.
+type Source interface {
+	Catalog() *catalog.Catalog
+	Table(name string) (Relation, error)
+}
+
+var (
+	_ Source = (*DB)(nil)
+	_ Source = (*Snapshot)(nil)
+)
+
+// DB groups the catalog and the stored tables of one database instance. The
+// tables map is guarded so table creation can race query execution; the
+// tables themselves carry their own locks.
 type DB struct {
-	cat    *catalog.Catalog
+	cat *catalog.Catalog
+
+	mu     sync.RWMutex
 	tables map[string]*Table
 }
 
@@ -26,13 +67,24 @@ func (d *DB) CreateTable(s *catalog.Schema) (*Table, error) {
 		return nil, err
 	}
 	t := NewTable(s)
+	d.mu.Lock()
 	d.tables[s.Name] = t
+	d.mu.Unlock()
 	return t, nil
 }
 
-// Table returns the named table, or an error for unknown relations.
-func (d *DB) Table(name string) (*Table, error) {
+// Table returns the named table as a Relation, or an error for unknown
+// relations. Callers needing the concrete table (insert/delete/index
+// maintenance) use Base.
+func (d *DB) Table(name string) (Relation, error) {
+	return d.Base(name)
+}
+
+// Base returns the named concrete table, or an error for unknown relations.
+func (d *DB) Base(name string) (*Table, error) {
+	d.mu.RLock()
 	t, ok := d.tables[name]
+	d.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown relation %s", name)
 	}
@@ -42,6 +94,8 @@ func (d *DB) Table(name string) (*Table, error) {
 // Stats aggregates the storage counters of every table; the progressive
 // executor publishes them as storage.* telemetry gauges.
 func (d *DB) Stats() TableStats {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var s TableStats
 	for _, t := range d.tables {
 		ts := t.Stats()
@@ -56,10 +110,10 @@ func (d *DB) Stats() TableStats {
 	return s
 }
 
-// MustTable is Table that panics; for callers that already validated names
+// MustTable is Base that panics; for callers that already validated names
 // against the catalog.
 func (d *DB) MustTable(name string) *Table {
-	t, err := d.Table(name)
+	t, err := d.Base(name)
 	if err != nil {
 		panic(err)
 	}

@@ -128,6 +128,12 @@ func (t *Table) Get(id int64) *types.Tuple {
 
 // Update replaces the value of one column of one tuple, returning the old
 // value. Updating an indexed column keeps the index consistent.
+//
+// The write is copy-on-write: the stored tuple is replaced by a clone
+// carrying the new value, never mutated in place, so rows and snapshots that
+// alias the old tuple's value slice keep reading a consistent pre-update
+// image. Updating a fixed (non-derived) column bumps the tuple's generation,
+// marking enrichment computed from the old feature vectors as stale.
 func (t *Table) Update(id int64, col string, v types.Value) (types.Value, error) {
 	ci := t.schema.ColIndex(col)
 	if ci < 0 {
@@ -145,9 +151,94 @@ func (t *Table) Update(id int64, col string, v types.Value) (types.Value, error)
 		idx.remove(old, id)
 		idx.add(v, id)
 	}
-	tu.Vals[ci] = v
+	nu := tu.Clone()
+	nu.Vals[ci] = v
+	if !t.schema.Cols[ci].Derived {
+		nu.Gen++
+	}
+	t.slab[i] = nu
 	t.updates++
 	return old, nil
+}
+
+// CommitFixed replaces a fixed column's value, clears every derived column,
+// and bumps the tuple's generation in one copy-on-write swap. Concurrent
+// readers therefore never observe a torn image (new fixed value with a stale
+// derived value, or vice versa) — the commit path uses this for fixed-
+// attribute updates, whose derived values must be recomputed (§3.3.5).
+// Returns the tuple's new generation.
+func (t *Table) CommitFixed(id int64, col string, v types.Value) (uint64, error) {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return 0, fmt.Errorf("storage: %s: unknown column %s", t.schema.Name, col)
+	}
+	if t.schema.Cols[ci].Derived {
+		return 0, fmt.Errorf("storage: %s: %s is a derived column; use Update", t.schema.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.slot[id]
+	if !ok {
+		return 0, fmt.Errorf("storage: %s: no tuple %d", t.schema.Name, id)
+	}
+	tu := t.slab[i]
+	if idx, ok := t.indexes[col]; ok {
+		idx.remove(tu.Vals[ci], id)
+		idx.add(v, id)
+	}
+	nu := tu.Clone()
+	nu.Vals[ci] = v
+	for di, c := range t.schema.Cols {
+		if c.Derived {
+			nu.Vals[di] = types.Null
+		}
+	}
+	nu.Gen++
+	t.slab[i] = nu
+	t.updates++
+	return nu.Gen, nil
+}
+
+// UpdateDerivedAt writes a derived column iff the stored tuple is still at
+// the given generation — the gen-guarded write-back path snapshot sessions
+// use, so enrichment determinized from a superseded generation's feature
+// vectors never lands in the live table. Returns whether the write applied;
+// a missing tuple or a generation mismatch is a silent no-op, not an error
+// (the tuple was deleted or rewritten after the caller's snapshot, and the
+// newer data wins).
+func (t *Table) UpdateDerivedAt(id int64, col string, v types.Value, gen uint64) (bool, error) {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return false, fmt.Errorf("storage: %s: unknown column %s", t.schema.Name, col)
+	}
+	if !t.schema.Cols[ci].Derived {
+		return false, fmt.Errorf("storage: %s: %s is not a derived column", t.schema.Name, col)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i, ok := t.slot[id]
+	if !ok {
+		return false, nil
+	}
+	tu := t.slab[i]
+	if tu.Gen != gen {
+		return false, nil
+	}
+	nu := tu.Clone()
+	nu.Vals[ci] = v
+	t.slab[i] = nu
+	t.updates++
+	return true, nil
+}
+
+// Gen returns the stored tuple's current generation (0 when absent).
+func (t *Table) Gen(id int64) uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if i, ok := t.slot[id]; ok {
+		return t.slab[i].Gen
+	}
+	return 0
 }
 
 // Delete removes a tuple, returning it (or nil if absent). The slab slot

@@ -29,7 +29,7 @@ type Result struct {
 // query is rewritten with UDF-wrapped derived conditions and run directly;
 // enrichment happens lazily inside predicate evaluation.
 type Driver struct {
-	DB  *storage.DB
+	DB  storage.Source
 	Mgr *enrich.Manager
 	// InvokeOverhead is forwarded to the runtime (per-UDF-call cost).
 	InvokeOverhead time.Duration
@@ -39,8 +39,8 @@ type Driver struct {
 	Tracer *telemetry.Tracer
 }
 
-// NewDriver builds a tight driver.
-func NewDriver(db *storage.DB, mgr *enrich.Manager) *Driver {
+// NewDriver builds a tight driver over a live database or a snapshot.
+func NewDriver(db storage.Source, mgr *enrich.Manager) *Driver {
 	return &Driver{DB: db, Mgr: mgr}
 }
 
@@ -73,6 +73,11 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	rt.InvokeOverhead = d.InvokeOverhead
 	ctx := engine.NewExecCtx()
 	ctx.Eval.Runtime = rt
+	// Stored tuples are immutable; rows must own their values so read_udf
+	// can patch freshly determined derived values into rows mid-plan (the
+	// visibility in-place updates used to provide).
+	ctx.CopyRows = true
+	ctx.Eval.PatchRows = true
 
 	t0 := time.Now()
 	sp := d.Tracer.Start("tight.execute")

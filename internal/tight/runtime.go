@@ -1,6 +1,7 @@
 package tight
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,7 +24,7 @@ import (
 // in flight at once. Enrichment state writes are serialized by the manager's
 // singleflight; the runtime's own accounting is atomic.
 type Runtime struct {
-	DB  *storage.DB
+	DB  storage.Source
 	Mgr *enrich.Manager
 
 	// Planned returns the function IDs the current plan assigns to
@@ -70,8 +71,11 @@ type gateKey struct {
 }
 
 // NewRuntime builds a runtime with write-back enabled, publishing its UDF
-// counters onto the manager's telemetry registry.
-func NewRuntime(db *storage.DB, mgr *enrich.Manager) *Runtime {
+// counters onto the manager's telemetry registry. The source may be a live
+// database or a session's snapshot; enrichment performed through a snapshot
+// writes back generation-guarded, so superseded tuple images never clobber
+// newer committed data.
+func NewRuntime(db storage.Source, mgr *enrich.Manager) *Runtime {
 	reg := mgr.Telemetry()
 	return &Runtime{
 		DB: db, Mgr: mgr, WriteBack: true, gates: make(map[gateKey]chan struct{}),
@@ -96,8 +100,11 @@ func (rt *Runtime) BatchStats() (payments, coalesced int64) {
 }
 
 // pending returns the not-yet-executed function IDs relevant for (relation,
-// tid, attr) under the current mode.
-func (rt *Runtime) pending(relation string, tid int64, attr string) ([]int, error) {
+// tid, attr) under the current mode. Prior work only counts when it was
+// computed from the same tuple image the runtime's source exposes (gen), so a
+// snapshot session never treats enrichment of a newer committed image as its
+// own.
+func (rt *Runtime) pending(relation string, tid int64, attr string, gen uint64) ([]int, error) {
 	fam := rt.Mgr.Family(relation, attr)
 	if fam == nil {
 		return nil, fmt.Errorf("tight: no family registered for %s.%s", relation, attr)
@@ -113,11 +120,32 @@ func (rt *Runtime) pending(relation string, tid int64, attr string) ([]int, erro
 	}
 	var out []int
 	for _, id := range candidates {
-		if !rt.Mgr.Enriched(relation, tid, attr, id) {
+		if !rt.Mgr.EnrichedAt(relation, tid, attr, id, gen) {
 			out = append(out, id)
 		}
 	}
 	return out, nil
+}
+
+// errTupleGone marks a tuple that a concurrent committed delete removed
+// between row materialization and UDF evaluation. The UDFs degrade to NULL
+// for it (read-committed: the row no longer exists, so the predicate drops
+// it) instead of aborting the query.
+var errTupleGone = errors.New("tight: tuple deleted during evaluation")
+
+// genOf returns the fixed-data generation of the tuple image the runtime's
+// source exposes for tid (the live table's current image, or the frozen image
+// of a session snapshot).
+func (rt *Runtime) genOf(relation string, tid int64) (uint64, error) {
+	tbl, err := rt.DB.Table(relation)
+	if err != nil {
+		return 0, err
+	}
+	tu := tbl.Get(tid)
+	if tu == nil {
+		return 0, errTupleGone
+	}
+	return tu.Gen, nil
 }
 
 // CheckState reports whether everything the plan requires for (relation,
@@ -125,7 +153,16 @@ func (rt *Runtime) pending(relation string, tid int64, attr string) ([]int, erro
 func (rt *Runtime) CheckState(relation string, tid int64, attr string) (bool, error) {
 	defer rt.track(time.Now())
 	rt.overhead()
-	p, err := rt.pending(relation, tid, attr)
+	gen, err := rt.genOf(relation, tid)
+	if errors.Is(err, errTupleGone) {
+		// Report "enriched" so the rewrite falls through to GetValue, which
+		// yields NULL for the vanished tuple and the predicate drops the row.
+		return true, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	p, err := rt.pending(relation, tid, attr, gen)
 	if err != nil {
 		return false, err
 	}
@@ -133,11 +170,40 @@ func (rt *Runtime) CheckState(relation string, tid int64, attr string) (bool, er
 }
 
 // GetValue returns the attribute's current determined value (the AValue
-// column of the state table).
+// column of the state table). The rewrite only reaches it after check_state
+// reported the plan's work done, so a NULL stored value means concurrency got
+// between the two calls and GetValue falls back to determinizing itself.
 func (rt *Runtime) GetValue(relation string, tid int64, attr string) (types.Value, error) {
 	defer rt.track(time.Now())
 	rt.overhead()
-	return rt.Mgr.Value(relation, tid, attr), nil
+	gen, err := rt.genOf(relation, tid)
+	if errors.Is(err, errTupleGone) {
+		return types.Null, nil
+	}
+	if err != nil {
+		return types.Null, err
+	}
+	if v := rt.Mgr.ValueAt(relation, tid, attr, gen); !v.IsNull() {
+		return v, nil
+	}
+	// check_state just reported the required functions executed, yet the
+	// value column is NULL. Either a peer session sits between its last
+	// function run and its determinization (state outputs land before the
+	// value), or a concurrent commit reset the shared state under this
+	// source's frozen image. Determinize from the feature: stored
+	// same-generation outputs are reused as-is, and reset state forces a
+	// transient recomputation — both yield the deterministic function of
+	// this source's tuple image, which is what a serial execution answers.
+	// (With nothing executed and nothing stored — an empty progressive plan
+	// — determinization still yields NULL.)
+	feature, fgen, err := rt.featureOf(relation, tid, attr)
+	if errors.Is(err, errTupleGone) {
+		return types.Null, nil
+	}
+	if err != nil {
+		return types.Null, err
+	}
+	return rt.Mgr.DetermineAt(relation, tid, attr, feature, fgen)
 }
 
 // ReadUDF executes the pending enrichment function(s) on the tuple, updates
@@ -145,7 +211,16 @@ func (rt *Runtime) GetValue(relation string, tid int64, attr string) (types.Valu
 // table, and returns the determined value.
 func (rt *Runtime) ReadUDF(relation string, tid int64, attr string) (types.Value, error) {
 	defer rt.track(time.Now())
-	pending, err := rt.pending(relation, tid, attr)
+	feature, gen, err := rt.featureOf(relation, tid, attr)
+	if errors.Is(err, errTupleGone) {
+		rt.overhead()
+		return types.Null, nil
+	}
+	if err != nil {
+		rt.overhead()
+		return types.Null, err
+	}
+	pending, err := rt.pending(relation, tid, attr, gen)
 	if err != nil {
 		rt.overhead()
 		return types.Null, err
@@ -159,16 +234,12 @@ func (rt *Runtime) ReadUDF(relation string, tid int64, attr string) (types.Value
 	} else {
 		rt.overhead()
 	}
-	feature, err := rt.featureOf(relation, tid, attr)
-	if err != nil {
-		return types.Null, err
-	}
 	for _, id := range pending {
-		if _, err := rt.Mgr.Execute(relation, tid, attr, id, feature); err != nil {
+		if _, err := rt.Mgr.ExecuteAt(relation, tid, attr, id, feature, gen); err != nil {
 			return types.Null, err
 		}
 	}
-	v, err := rt.Mgr.Determine(relation, tid, attr, feature)
+	v, err := rt.Mgr.DetermineAt(relation, tid, attr, feature, gen)
 	if err != nil {
 		return types.Null, err
 	}
@@ -177,29 +248,39 @@ func (rt *Runtime) ReadUDF(relation string, tid int64, attr string) (types.Value
 		if err != nil {
 			return types.Null, err
 		}
-		if _, err := tbl.Update(tid, attr, v); err != nil {
+		// Gen-guarded write-back: if the tuple was deleted or its fixed
+		// data superseded since the feature was read, the value silently
+		// stays off the (now different or absent) base tuple. A snapshot
+		// view's Update carries its own generation guard.
+		if bt, ok := tbl.(*storage.Table); ok {
+			if _, err := bt.UpdateDerivedAt(tid, attr, v, gen); err != nil {
+				return types.Null, err
+			}
+		} else if _, err := tbl.Update(tid, attr, v); err != nil {
 			return types.Null, err
 		}
 	}
 	return v, nil
 }
 
-// featureOf reads the tuple's feature vector for the derived attribute.
-func (rt *Runtime) featureOf(relation string, tid int64, attr string) ([]float64, error) {
+// featureOf reads the tuple's feature vector for the derived attribute,
+// together with the fixed-data generation of the tuple image it was read
+// from (what the resulting enrichment is keyed and guarded by).
+func (rt *Runtime) featureOf(relation string, tid int64, attr string) ([]float64, uint64, error) {
 	tbl, err := rt.DB.Table(relation)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	tu := tbl.Get(tid)
 	if tu == nil {
-		return nil, fmt.Errorf("tight: %s has no tuple %d", relation, tid)
+		return nil, 0, errTupleGone
 	}
 	schema := tbl.Schema()
 	col := schema.Col(attr)
 	if col == nil || !col.Derived {
-		return nil, fmt.Errorf("tight: %s.%s is not a derived attribute", relation, attr)
+		return nil, 0, fmt.Errorf("tight: %s.%s is not a derived attribute", relation, attr)
 	}
-	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), nil
+	return tu.Vals[schema.ColIndex(col.FeatureCol)].Vector(), tu.Gen, nil
 }
 
 func (rt *Runtime) track(start time.Time) { rt.callNanos.AddDuration(time.Since(start)) }

@@ -307,8 +307,17 @@ func TestRuntimeGuards(t *testing.T) {
 	if _, err := rt.ReadUDF("TweetData", 1, "nope"); err == nil {
 		t.Error("unknown attr must fail")
 	}
-	if _, err := rt.ReadUDF("TweetData", 99999, "sentiment"); err == nil {
-		t.Error("unknown tuple must fail")
+	// A tuple missing at evaluation time means a committed delete raced the
+	// query: the UDFs degrade to NULL (the predicate drops the row) rather
+	// than aborting the whole query.
+	if v, err := rt.ReadUDF("TweetData", 99999, "sentiment"); err != nil || !v.IsNull() {
+		t.Errorf("deleted-tuple ReadUDF = %v, %v; want NULL, nil", v, err)
+	}
+	if enriched, err := rt.CheckState("TweetData", 99999, "sentiment"); err != nil || !enriched {
+		t.Errorf("deleted-tuple CheckState = %v, %v; want true, nil", enriched, err)
+	}
+	if v, err := rt.GetValue("TweetData", 99999, "sentiment"); err != nil || !v.IsNull() {
+		t.Errorf("deleted-tuple GetValue = %v, %v; want NULL, nil", v, err)
 	}
 	if _, err := rt.CheckState("TweetData", 1, "nope"); err == nil {
 		t.Error("unknown attr must fail")

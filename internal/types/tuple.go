@@ -7,9 +7,17 @@ import (
 
 // Tuple is a stored row of a base relation. ID is the paper's mandatory id
 // attribute: every relation carries one so that enrichment state can be keyed
-// per tuple.
+// per tuple. Gen is the tuple's fixed-data generation: storage bumps it every
+// time a fixed (non-derived) attribute changes, which invalidates enrichment
+// computed from the previous generation's feature vectors (§3.3.5's state
+// reset). Derived-attribute writes never change Gen.
+//
+// Published tuples are immutable: storage replaces the tuple pointer on every
+// update (copy-on-write) instead of mutating Vals in place, so a scan's
+// snapshot of tuple pointers stays consistent under concurrent writers.
 type Tuple struct {
 	ID   int64
+	Gen  uint64
 	Vals []Value
 }
 
@@ -19,7 +27,7 @@ type Tuple struct {
 func (t *Tuple) Clone() *Tuple {
 	vals := make([]Value, len(t.Vals))
 	copy(vals, t.Vals)
-	return &Tuple{ID: t.ID, Vals: vals}
+	return &Tuple{ID: t.ID, Gen: t.Gen, Vals: vals}
 }
 
 // String renders the tuple for debugging.

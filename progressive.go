@@ -73,6 +73,9 @@ type Epoch struct {
 	Inserted  int
 	Deleted   int
 	Wall      time.Duration
+	// EnrichErr is set when the epoch's enrichment batch was lost in
+	// transport; the epoch enriched nothing and its plan was re-queued.
+	EnrichErr string
 }
 
 // ProgressiveResult is the outcome of a progressive run.
@@ -81,6 +84,9 @@ type ProgressiveResult struct {
 	Epochs           []Epoch
 	Quality          []float64 // per epoch, starting at e₀
 	TotalEnrichments int64
+	// FailedEpochs counts epochs that enriched nothing because their whole
+	// batch was lost in transport (degraded, per DESIGN §6).
+	FailedEpochs int
 	// Overhead is Exp 4's non-enrichment cost breakdown.
 	Overhead ProgressiveOverhead
 
@@ -200,6 +206,7 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 	out := &ProgressiveResult{
 		Quality:          res.Quality,
 		TotalEnrichments: res.TotalEnrichments,
+		FailedEpochs:     res.FailedEpochs,
 		Overhead: ProgressiveOverhead{
 			Setup:  res.Overhead.Setup,
 			Plan:   res.Overhead.Plan,
@@ -234,6 +241,7 @@ func wrapEpoch(ep progressive.EpochReport) Epoch {
 		N: ep.Epoch, Planned: ep.Planned, Enrichments: ep.Executed,
 		Skipped: ep.Skipped, Coalesced: ep.Coalesced,
 		Quality: ep.Quality, Inserted: ep.Inserted, Deleted: ep.Deleted, Wall: ep.Wall,
+		EnrichErr: ep.EnrichErr,
 	}
 }
 

@@ -1,0 +1,240 @@
+package enrichdb
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/loose"
+	"enrichdb/internal/storage"
+	"enrichdb/internal/tight"
+)
+
+// ServingConfig bounds concurrent serving (admission control).
+type ServingConfig struct {
+	// MaxSessions is the maximum number of concurrently open sessions; 0 or
+	// negative means unlimited.
+	MaxSessions int
+	// QueueTimeout is how long Session() waits for a slot when MaxSessions
+	// are already open before failing with ErrSessionTimeout. Zero rejects
+	// immediately when the database is at capacity.
+	QueueTimeout time.Duration
+}
+
+// ErrSessionTimeout is returned by Session when admission control could not
+// grant a slot within the configured queue timeout.
+var ErrSessionTimeout = fmt.Errorf("enrichdb: session admission timed out")
+
+// admission is the slot gate behind SetServing: a buffered channel holds the
+// free slots; Session() takes one (waiting up to the timeout) and Close
+// returns it. The serve.* gauges/counters publish its state.
+type admission struct {
+	slots   chan struct{}
+	timeout time.Duration
+}
+
+// SetServing installs admission control for Session. Sessions already open
+// keep their slots from the previous configuration; passing a config with
+// MaxSessions <= 0 removes the limit. Telemetry: serve.sessions_active,
+// serve.sessions_queued (gauges), serve.sessions_admitted,
+// serve.sessions_rejected, serve.queue_wait_ns (counters).
+func (db *DB) SetServing(cfg ServingConfig) {
+	if cfg.MaxSessions <= 0 {
+		db.serving.Store(nil)
+		return
+	}
+	a := &admission{slots: make(chan struct{}, cfg.MaxSessions), timeout: cfg.QueueTimeout}
+	for i := 0; i < cfg.MaxSessions; i++ {
+		a.slots <- struct{}{}
+	}
+	db.serving.Store(a)
+}
+
+// Version returns the commit version: the number of committed writes
+// (inserts, updates, deletes) since the database opened. Snapshot-isolated
+// sessions are tagged with the version their snapshot was taken at.
+func (db *DB) Version() uint64 { return db.version.Load() }
+
+// Session is a snapshot-isolated read view of the database, taken atomically
+// across all relations at one commit version.
+//
+// Queries on a session (Query, QueryLoose, QueryTight) see exactly the data
+// committed as of Version(), regardless of concurrent writers. Query-time
+// enrichment performed inside a session is written into the session's own
+// view (so the session's answers include it) and shared back to the live
+// database generation-guarded: enrichment of tuples that still exist
+// unchanged benefits every later query — the paper's "exploit prior work"
+// probe step — while enrichment computed from superseded tuple images is
+// dropped. Enrichment state (the manager) and the worker pools are shared
+// across all sessions; concurrent identical computations collapse into one
+// function run via the manager's generation-keyed singleflight.
+//
+// A session must be Closed to release its admission slot. Sessions are safe
+// for concurrent use by multiple goroutines.
+type Session struct {
+	db      *DB
+	snap    *storage.Snapshot
+	version uint64
+	slot    *admission // nil when admission control is off
+	closed  atomic.Bool
+}
+
+// Session opens a snapshot-isolated session at the current commit version,
+// subject to admission control when SetServing configured a session limit
+// (queueing up to the configured timeout for a free slot).
+func (db *DB) Session() (*Session, error) {
+	reg := db.Telemetry()
+	adm := db.serving.Load()
+	if adm != nil {
+		select {
+		case <-adm.slots:
+			reg.Counter("serve.sessions_admitted").Add(1)
+		default:
+			// Full: queue with timeout.
+			reg.Gauge("serve.sessions_queued").Add(1)
+			waitStart := time.Now()
+			var timeout <-chan time.Time
+			if adm.timeout > 0 {
+				t := time.NewTimer(adm.timeout)
+				defer t.Stop()
+				timeout = t.C
+			} else {
+				closed := make(chan time.Time)
+				close(closed)
+				timeout = closed
+			}
+			select {
+			case <-adm.slots:
+				reg.Gauge("serve.sessions_queued").Add(-1)
+				reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
+				reg.Counter("serve.sessions_admitted").Add(1)
+			case <-timeout:
+				reg.Gauge("serve.sessions_queued").Add(-1)
+				reg.Counter("serve.sessions_rejected").Add(1)
+				return nil, ErrSessionTimeout
+			}
+		}
+	}
+	// Freeze the snapshot under the commit lock so the view is atomic across
+	// relations and carries exactly one commit version.
+	db.commitMu.Lock()
+	version := db.version.Load()
+	snap := db.store.Snapshot()
+	db.commitMu.Unlock()
+	db.Telemetry().Gauge("serve.sessions_active").Add(1)
+	return &Session{db: db, snap: snap, version: version, slot: adm}, nil
+}
+
+// Close releases the session's admission slot. Closing twice is a no-op.
+func (s *Session) Close() error {
+	if !s.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	s.db.Telemetry().Gauge("serve.sessions_active").Add(-1)
+	if s.slot != nil {
+		s.slot.slots <- struct{}{}
+	}
+	return nil
+}
+
+// Version returns the commit version the session's snapshot was taken at.
+func (s *Session) Version() uint64 { return s.version }
+
+// Query executes a query against the snapshot without any enrichment:
+// derived attributes read as frozen in the snapshot.
+func (s *Session) Query(query string) (*Rows, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("enrichdb: session is closed")
+	}
+	a, err := s.db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, s.snap)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := plan.Execute(engine.NewExecCtx())
+	if err != nil {
+		return nil, err
+	}
+	return wrapRows(plan.Schema(), rows), nil
+}
+
+// QueryLoose executes a query against the snapshot with the loose design.
+// Enrichment runs on the snapshot's tuple images through the shared manager
+// and enrichment server; determined values land in the session's view and,
+// generation-guarded, in the live tables.
+func (s *Session) QueryLoose(query string) (*Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("enrichdb: session is closed")
+	}
+	drv := &loose.Driver{DB: s.snap, Mgr: s.db.mgr, Enricher: s.db.enricher, Tracer: s.db.tracer}
+	res, err := drv.Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := s.db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, s.snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:              wrapRows(plan.Schema(), res.Rows),
+		Enrichments:       res.Enrichments,
+		FailedEnrichments: res.FailedEnrichments,
+		EnrichErrors:      res.EnrichErrors,
+		Timing: QueryTiming{
+			Probe:   res.Timing.Probe,
+			Enrich:  res.Timing.Enrich,
+			Network: res.Timing.Network,
+			DBMS:    res.Timing.DBMS,
+		},
+	}, nil
+}
+
+// QueryTight executes a query against the snapshot with the tight design:
+// rewritten UDFs enrich the snapshot's tuple images lazily during predicate
+// evaluation, sharing state and deduplication with every other session.
+func (s *Session) QueryTight(query string) (*Result, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("enrichdb: session is closed")
+	}
+	enrichBefore := s.db.mgr.Counters().EnrichTime
+	drv := &tight.Driver{DB: s.snap, Mgr: s.db.mgr, InvokeOverhead: s.db.TightInvokeOverhead, Tracer: s.db.tracer}
+	res, err := drv.Execute(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := s.db.analyzeSQL(query)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, s.snap)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Rows:           wrapRows(plan.Schema(), res.Rows),
+		Enrichments:    res.Enrichments,
+		UDFInvocations: res.UDFInvocations,
+		Timing:         splitTightTiming(res.DBMS, s.db.mgr.Counters().EnrichTime-enrichBefore),
+	}, nil
+}
+
+// QueryProgressive executes a progressive query through the session. The
+// progressive pipeline maintains its answer incrementally against live data
+// (its IVM view consumes committed deltas), so it runs over the live
+// database rather than the frozen snapshot: results are read-committed and
+// refine monotonically with enrichment, sharing the scheduler pool and
+// enrichment state with every concurrent session.
+func (s *Session) QueryProgressive(query string, opts ProgressiveOptions) (*ProgressiveResult, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("enrichdb: session is closed")
+	}
+	return s.db.QueryProgressive(query, opts)
+}

@@ -36,7 +36,20 @@ const snapshotVersion = 1
 // relations and re-registers the enrichment functions first, then calls
 // LoadSnapshot — after which all previously performed enrichment work is
 // available (nothing re-executes).
+//
+// The save is a consistent cut: it holds the commit lock, so no insert,
+// fixed-attribute update or delete lands mid-stream and every exported state
+// record belongs to the tuple image exported next to it. Concurrent
+// query-time enrichment keeps running — its writes are additive within the
+// current tuple generations (state first, then the base-table value), so the
+// worst skew is a snapshot that knows an output in the state table before
+// the determined value reached the base table, which LoadSnapshot resolves
+// in the state's favor. Tuple generations themselves are not persisted: a
+// loaded database starts every tuple at generation zero with its imported
+// state keyed the same way, which is exactly consistent.
 func (db *DB) SaveSnapshot(w io.Writer) error {
+	db.commitMu.Lock()
+	defer db.commitMu.Unlock()
 	snap := snapshot{Version: snapshotVersion}
 	for _, rel := range db.store.Catalog().Relations() {
 		tbl := db.store.MustTable(rel)

@@ -140,3 +140,123 @@ func TestSnapshotErrors(t *testing.T) {
 		t.Error("schema mismatch must fail")
 	}
 }
+
+// TestSnapshotConcurrentEnrichmentAndTombstones saves a snapshot while
+// enriching queries run against the source and after deletions have both
+// compacted the slab and left fresh tombstones behind. The loaded database
+// must hold exactly the survivors, agree with the source on the fully
+// enriched answer, and need no re-enrichment once warmed.
+func TestSnapshotConcurrentEnrichmentAndTombstones(t *testing.T) {
+	src := servingDB(t, 200)
+	defer src.Close()
+
+	// Delete ids 1..140: crosses the live*2 <= slab threshold repeatedly,
+	// so the slab compacts at least once.
+	for id := int64(1); id <= 140; id++ {
+		if err := src.Delete("Events", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Ids 191..200 land exactly on the next threshold and compact again,
+	// shrinking the slab below compactMinSlab — after which ids 141..145
+	// stay behind as tombstones.
+	for id := int64(191); id <= 200; id++ {
+		if err := src.Delete("Events", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for id := int64(141); id <= 145; id++ {
+		if err := src.Delete("Events", id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats := src.store.MustTable("Events").Stats()
+	if stats.Compactions == 0 {
+		t.Fatalf("setup: expected at least one compaction, stats %+v", stats)
+	}
+	if stats.Tombstones == 0 {
+		t.Fatalf("setup: expected post-compaction tombstones, stats %+v", stats)
+	}
+	if stats.Live != 45 {
+		t.Fatalf("setup: live = %d, want 45", stats.Live)
+	}
+
+	// Enrich concurrently with the save: the snapshot must be internally
+	// consistent whatever prefix of this work it observes.
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				_, err = src.QueryLoose("SELECT id, label FROM Events WHERE label = 0")
+			} else {
+				_, err = src.QueryTight("SELECT id, label FROM Events WHERE label = 1")
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	var buf bytes.Buffer
+	err := src.SaveSnapshot(&buf)
+	close(stop)
+	<-done
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Load into a fresh database with the same schema and function.
+	dst := servingDB(t, 0)
+	defer dst.Close()
+	if err := dst.LoadSnapshot(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+
+	dstAll, err := dst.Query("SELECT id FROM Events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(dstAll.Len()) != stats.Live {
+		t.Fatalf("restored %d tuples, want %d survivors", dstAll.Len(), stats.Live)
+	}
+	for i := 0; i < dstAll.Len(); i++ {
+		if id := dstAll.At(i)[0].Int(); id <= 145 || id > 190 {
+			t.Fatalf("deleted tuple %d resurrected by snapshot", id)
+		}
+	}
+
+	// The fully enriched answer is a pure function of the fixed data, so
+	// source and restored database must agree byte for byte — regardless
+	// of how much enrichment the snapshot happened to capture.
+	const q = "SELECT id, label FROM Events WHERE label = 1"
+	srcRes, err := src.QueryLoose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstRes, err := dst.QueryLoose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if renderRows(srcRes.Rows) != renderRows(dstRes.Rows) {
+		t.Fatalf("restored answer differs:\nsrc:\n%s\ndst:\n%s",
+			renderRows(srcRes.Rows), renderRows(dstRes.Rows))
+	}
+
+	// Once warmed, the restored state fully covers the relation.
+	again, err := dst.QueryLoose(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Enrichments != 0 {
+		t.Errorf("second query after restore ran %d enrichments, want 0", again.Enrichments)
+	}
+}
