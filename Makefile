@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race soak bench bench-kernel bench-smoke fuzz tidy staticcheck trace-demo
+.PHONY: check vet build test race test-race soak bench bench-kernel bench-vector bench-smoke fuzz tidy staticcheck trace-demo
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
@@ -21,7 +21,7 @@ test:
 # the serving layer (sessions, admission control) and the concurrent
 # workload harness that verifies it.
 race:
-	$(GO) test -race . ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/... ./internal/storage/... ./internal/harness/...
+	$(GO) test -race . ./internal/loose/... ./internal/enrich/... ./internal/faultinject/... ./internal/telemetry/... ./internal/storage/... ./internal/harness/... ./internal/engine/... ./internal/expr/...
 
 # Full concurrency gate: vet, then the concurrency/chaos/equivalence suites
 # under the race detector, twice (-count=2 defeats the test cache and shakes
@@ -40,7 +40,9 @@ test-race: vet
 		./internal/storage/... \
 		./internal/progressive/... \
 		./internal/telemetry/... \
-		./internal/harness/...
+		./internal/harness/... \
+		./internal/engine/... \
+		./internal/expr/...
 
 # Pinned-seed soak of the serving workload: N seconds of harness iterations
 # under the race detector, every iteration checked by both oracles.
@@ -56,10 +58,10 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# One-iteration pass over the kernel benchmarks: proves the bench harness
-# still compiles and runs without paying full measurement time.
+# One-iteration pass over the kernel and vector benchmarks: proves the bench
+# harness still compiles and runs without paying full measurement time.
 bench-smoke:
-	$(GO) test -bench '^BenchmarkKernel' -benchtime 1x -run '^$$' ./internal/bench
+	$(GO) test -bench '^Benchmark(Kernel|Vector)' -benchtime 1x -run '^$$' ./internal/bench
 
 # Re-measure the execution-kernel microbenchmarks and fold the numbers into
 # BENCH_kernel.json under the "current" label (the committed "baseline" label
@@ -90,6 +92,38 @@ bench-kernel:
 			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
 	done; } | $(GO) run ./cmd/benchjson -label current -out BENCH_kernel.json
 	@rm -f .bench-kernel.test
+
+# Re-measure the vectorized-execution benchmarks and record both code paths
+# into BENCH_vector.json: the "rowpath" label runs every benchmark with
+# BENCH_NOVECTOR=1 (row-at-a-time execution), the "vector" label runs the
+# columnar batch path — same tasks, same machine, back to back. Same
+# process-isolation discipline as bench-kernel.
+VECTOR_BENCHES := \
+	'^BenchmarkVectorScan$$/col/^10k$$=500x' \
+	'^BenchmarkVectorScan$$/col/^100k$$=50x' \
+	'^BenchmarkVectorScan$$/col/^1M$$=5x' \
+	'^BenchmarkVectorScan$$/wide/^10k$$=500x' \
+	'^BenchmarkVectorScan$$/wide/^100k$$=50x' \
+	'^BenchmarkVectorScan$$/wide/^1M$$=5x' \
+	'^BenchmarkVectorFilter$$/^10k$$=500x' \
+	'^BenchmarkVectorFilter$$/^100k$$=50x' \
+	'^BenchmarkVectorFilter$$/^1M$$=5x' \
+	'^BenchmarkVectorFilterExec$$/^10k$$=500x' \
+	'^BenchmarkVectorFilterExec$$/^100k$$=50x' \
+	'^BenchmarkVectorFilterExec$$/^1M$$=5x'
+
+bench-vector:
+	@$(GO) test -c -o .bench-vector.test ./internal/bench
+	@{ for p in $(VECTOR_BENCHES); do \
+		BENCH_NOVECTOR=1 ./.bench-vector.test -test.run '^$$' -test.bench "$${p%=*}" \
+			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
+	done; } | $(GO) run ./cmd/benchjson -label rowpath -out BENCH_vector.json \
+		-note "Vectorized scan/filter vs the row path, same tasks back to back; regenerate with \`make bench-vector\`."
+	@{ for p in $(VECTOR_BENCHES); do \
+		./.bench-vector.test -test.run '^$$' -test.bench "$${p%=*}" \
+			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
+	done; } | $(GO) run ./cmd/benchjson -label vector -out BENCH_vector.json
+	@rm -f .bench-vector.test
 
 tidy:
 	gofmt -l -w .

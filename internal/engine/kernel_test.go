@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 
@@ -55,24 +56,22 @@ func kernelTestTable(t *testing.T, n int) *storage.Table {
 }
 
 func rowsFingerprint(rows []*expr.Row) string {
-	s := ""
+	var sb strings.Builder
 	for _, r := range rows {
 		for _, v := range r.Vals {
-			s += v.Key() + ","
+			sb.WriteString(v.Key())
+			sb.WriteByte(',')
 		}
-		s += fmt.Sprint(r.TIDs) + ";"
+		fmt.Fprint(&sb, r.TIDs)
+		sb.WriteByte(';')
 	}
-	return s
+	return sb.String()
 }
 
 // TestParallelScanFilterMatchesSequential checks the partitioned parallel
 // scan+filter produces byte-identical rows, in identical order, for every
 // worker count.
 func TestParallelScanFilterMatchesSequential(t *testing.T) {
-	old := ParallelScanMinRows
-	ParallelScanMinRows = 16
-	defer func() { ParallelScanMinRows = old }()
-
 	tbl := kernelTestTable(t, 500)
 	scan := NewScan(tbl, "R")
 	pred := expr.NewCmp(expr.LT, expr.NewCol("R", "a"), expr.NewConst(types.NewInt(50)))
@@ -89,18 +88,25 @@ func TestParallelScanFilterMatchesSequential(t *testing.T) {
 	}
 	want := rowsFingerprint(seq)
 
-	for _, w := range []int{2, 3, 4, 8} {
-		ctx := NewExecCtx()
-		ctx.Pool = &testPool{workers: w}
-		got, err := NewFilter(NewScan(tbl, "R"), pred).Execute(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if fp := rowsFingerprint(got); fp != want {
-			t.Fatalf("workers=%d: parallel scan+filter diverged from sequential", w)
-		}
-		if ctx.Stats.RowsScanned != 500 {
-			t.Errorf("workers=%d: RowsScanned = %d, want 500", w, ctx.Stats.RowsScanned)
+	for _, noVec := range []bool{false, true} {
+		for _, w := range []int{2, 3, 4, 8} {
+			ctx := NewExecCtx()
+			ctx.Pool = &testPool{workers: w}
+			ctx.ParallelMinRows = 16 // force the parallel path on this small table
+			ctx.NoVector = noVec
+			got, err := NewFilter(NewScan(tbl, "R"), pred).Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fp := rowsFingerprint(got); fp != want {
+				t.Fatalf("workers=%d noVec=%v: parallel scan+filter diverged from sequential", w, noVec)
+			}
+			if ctx.Stats.RowsScanned != 500 {
+				t.Errorf("workers=%d noVec=%v: RowsScanned = %d, want 500", w, noVec, ctx.Stats.RowsScanned)
+			}
+			if !noVec && ctx.Stats.BatchRows != 500 {
+				t.Errorf("workers=%d: BatchRows = %d, want 500", w, ctx.Stats.BatchRows)
+			}
 		}
 	}
 }
@@ -108,7 +114,7 @@ func TestParallelScanFilterMatchesSequential(t *testing.T) {
 // TestParallelScanFilterSmallTableSequential: below the threshold the fused
 // path must still produce correct output (it reuses the snapshot it took).
 func TestParallelScanFilterSmallTableSequential(t *testing.T) {
-	tbl := kernelTestTable(t, 64) // < ParallelScanMinRows
+	tbl := kernelTestTable(t, 64) // < DefaultParallelScanMinRows
 	scan := NewScan(tbl, "R")
 	pred := expr.NewCmp(expr.LT, expr.NewCol("R", "a"), expr.NewConst(types.NewInt(32)))
 	if err := pred.Resolve(scan.Schema()); err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
@@ -19,6 +20,12 @@ type Stats struct {
 	HashJoins   int64
 	NLJoins     int64
 	IndexScans  int64
+	// Vectorized-path counters: column batches built, tuple lanes pushed
+	// through vector kernels, and lanes that fell back to row-at-a-time
+	// residual evaluation (uncompiled conjunct suffix).
+	BatchesBuilt      int64
+	BatchRows         int64
+	BatchFallbackRows int64
 }
 
 // Publish adds the collected counters onto a telemetry registry under the
@@ -35,6 +42,9 @@ func (s *Stats) Publish(add func(name string, delta int64)) {
 	add("engine.hash_joins", s.HashJoins)
 	add("engine.nl_joins", s.NLJoins)
 	add("engine.index_scans", s.IndexScans)
+	add("engine.batch_built", s.BatchesBuilt)
+	add("engine.batch_rows", s.BatchRows)
+	add("engine.batch_fallback_rows", s.BatchFallbackRows)
 }
 
 // Pool bounds data-parallel plan execution. It is satisfied by
@@ -62,6 +72,29 @@ type ExecCtx struct {
 	// (together with Eval.PatchRows) so UDF evaluation can patch freshly
 	// enriched derived values into rows already flowing through the plan.
 	CopyRows bool
+	// NoVector forces the row-at-a-time path even where a vectorized
+	// filter-over-scan is available (ablations, equivalence testing).
+	NoVector bool
+	// ParallelMinRows is the table size below which a filter-over-scan stays
+	// sequential even when a worker pool is available — fan-out costs more
+	// than it saves on small inputs. Zero means DefaultParallelScanMinRows.
+	// Living on the context (not a package variable) keeps concurrent
+	// sessions from racing on each other's ablation settings.
+	ParallelMinRows int
+	// vec holds the context's reusable vectorized-scan buffers (snapshot,
+	// batch, bitmaps); lazily built, never shared across goroutines.
+	vec *vecBufs
+}
+
+// DefaultParallelScanMinRows is the default ExecCtx.ParallelMinRows.
+const DefaultParallelScanMinRows = 4096
+
+// parallelMinRows resolves the context's threshold.
+func (ctx *ExecCtx) parallelMinRows() int {
+	if ctx.ParallelMinRows > 0 {
+		return ctx.ParallelMinRows
+	}
+	return DefaultParallelScanMinRows
 }
 
 // NewExecCtx returns a context with fresh counters, a fresh row arena, and
@@ -146,12 +179,11 @@ type Filter struct {
 	// predicates mutate shared enrichment state and never take the parallel
 	// scan path.
 	hasUDF bool
+	// vec is the predicate compiled to vector kernels, built once on first
+	// vectorized execution (nil after vecOnce fires means not vectorizable).
+	vec     *expr.VecPred
+	vecOnce sync.Once
 }
-
-// ParallelScanMinRows is the table size below which a filter-over-scan stays
-// sequential even when a worker pool is available — fan-out costs more than
-// it saves on small inputs. A package variable so tests can lower it.
-var ParallelScanMinRows = 4096
 
 // NewFilter builds a filter node; the predicate must already be resolved
 // against the child schema.
@@ -185,8 +217,13 @@ func ownsResult(p Plan) bool {
 // child owns its result, via a partitioned parallel scan when the child is a
 // bare table scan and a worker pool is attached.
 func (f *Filter) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
-	if s, ok := f.Child.(*Scan); ok && !f.hasUDF && ctx.Pool != nil && ctx.Pool.Workers() > 1 {
-		return f.scanFilter(ctx, s)
+	if s, ok := f.Child.(*Scan); ok {
+		if out, handled, err := f.vecExecute(ctx, s); handled {
+			return out, err
+		}
+		if !f.hasUDF && ctx.Pool != nil && ctx.Pool.Workers() > 1 {
+			return f.scanFilter(ctx, s)
+		}
 	}
 	in, err := f.Child.Execute(ctx)
 	if err != nil {
@@ -222,7 +259,7 @@ func (f *Filter) filterInto(eval *expr.EvalCtx, in, out []*expr.Row) ([]*expr.Ro
 func (f *Filter) scanFilter(ctx *ExecCtx, s *Scan) ([]*expr.Row, error) {
 	tuples := s.Table.Tuples()
 	n := len(tuples)
-	if n < ParallelScanMinRows {
+	if n < ctx.parallelMinRows() {
 		in := s.materialize(ctx, tuples)
 		return f.filterInto(ctx.Eval, in, in[:0])
 	}
@@ -681,6 +718,9 @@ func (p *Project) Schema() *expr.RowSchema { return p.rs }
 // Execute projects the child's rows. TIDs are preserved so downstream
 // consumers can still identify base tuples.
 func (p *Project) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if out, handled, err := p.vecExecute(ctx); handled {
+		return out, err
+	}
 	in, err := p.Child.Execute(ctx)
 	if err != nil {
 		return nil, err

@@ -105,10 +105,11 @@ func summarize(res *Result, before, after enrich.Counters) runSummary {
 	return s
 }
 
-// equivRun executes one fresh fixture at the given worker count and returns
-// its summary. Each call rebuilds dataset, models and manager from the same
-// seeds, so runs are comparable but share no state.
-func equivRun(t *testing.T, design Design, strategy Strategy, query string, workers int) runSummary {
+// equivRun executes one fresh fixture at the given worker count — with the
+// vectorized scan path on (default) or forced off — and returns its summary.
+// Each call rebuilds dataset, models and manager from the same seeds, so runs
+// are comparable but share no state.
+func equivRun(t *testing.T, design Design, strategy Strategy, query string, workers int, vecOff bool) runSummary {
 	t.Helper()
 	d, mgr := fixture(t)
 	pinCosts(t, mgr)
@@ -123,6 +124,7 @@ func equivRun(t *testing.T, design Design, strategy Strategy, query string, work
 		MaxEpochs:     40,
 		Seed:          11,
 		Workers:       workers,
+		NoVectorScan:  vecOff,
 		CollectDeltas: true,
 		Quality:       truthQuality(t, d, query),
 	})
@@ -176,12 +178,13 @@ func TestWorkersEquivalenceGrid(t *testing.T) {
 			design, strategy := design, strategy
 			t.Run(fmt.Sprintf("%s/%s", design, strategy), func(t *testing.T) {
 				t.Parallel()
-				base := equivRun(t, design, strategy, query, 1)
+				base := equivRun(t, design, strategy, query, 1, false)
 				if base.Counters.Enrichments == 0 {
 					t.Fatal("baseline ran no enrichments; grid case is vacuous")
 				}
-				par := equivRun(t, design, strategy, query, 4)
-				diffSummaries(t, "workers=4", base, par)
+				diffSummaries(t, "workers=1/rowpath", base, equivRun(t, design, strategy, query, 1, true))
+				diffSummaries(t, "workers=4", base, equivRun(t, design, strategy, query, 4, false))
+				diffSummaries(t, "workers=4/rowpath", base, equivRun(t, design, strategy, query, 4, true))
 			})
 		}
 	}
@@ -196,13 +199,15 @@ func TestWorkersEquivalenceJoin(t *testing.T) {
 		design := design
 		t.Run(design.String(), func(t *testing.T) {
 			t.Parallel()
-			base := equivRun(t, design, SBFO, query, 1)
+			base := equivRun(t, design, SBFO, query, 1, false)
 			if base.Counters.Enrichments == 0 {
 				t.Fatal("baseline ran no enrichments; join case is vacuous")
 			}
 			for _, workers := range []int{2, 8} {
-				par := equivRun(t, design, SBFO, query, workers)
-				diffSummaries(t, fmt.Sprintf("workers=%d", workers), base, par)
+				for _, vecOff := range []bool{false, true} {
+					par := equivRun(t, design, SBFO, query, workers, vecOff)
+					diffSummaries(t, fmt.Sprintf("workers=%d vecOff=%v", workers, vecOff), base, par)
+				}
 			}
 		})
 	}
@@ -216,12 +221,13 @@ func TestWorkersEquivalenceAggregate(t *testing.T) {
 		design := design
 		t.Run(design.String(), func(t *testing.T) {
 			t.Parallel()
-			base := equivRun(t, design, SBFO, query, 1)
+			base := equivRun(t, design, SBFO, query, 1, false)
 			if base.Counters.Enrichments == 0 {
 				t.Fatal("baseline ran no enrichments; aggregate case is vacuous")
 			}
-			par := equivRun(t, design, SBFO, query, 4)
-			diffSummaries(t, "workers=4", base, par)
+			diffSummaries(t, "workers=1/rowpath", base, equivRun(t, design, SBFO, query, 1, true))
+			diffSummaries(t, "workers=4", base, equivRun(t, design, SBFO, query, 4, false))
+			diffSummaries(t, "workers=4/rowpath", base, equivRun(t, design, SBFO, query, 4, true))
 		})
 	}
 }

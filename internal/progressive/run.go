@@ -81,6 +81,12 @@ type Config struct {
 	// either way; disable it to isolate enrichment parallelism in ablations.
 	NoParallelScan bool
 
+	// NoVectorScan forces row-at-a-time scan/filter execution even where the
+	// vectorized batch path applies. Like NoParallelScan it is a pure
+	// throughput knob — output is byte-identical either way (enforced by the
+	// equivalence battery) — kept for ablations and as an escape hatch.
+	NoVectorScan bool
+
 	// PerRowUDF disables the tight runtime's micro-batching, so every
 	// read_udf call pays InvokeOverhead individually — the paper's per-row
 	// UDF execution mode (7.72 vs 7.46 ms/tweet, §5.2.1). Off by default:
@@ -226,6 +232,7 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Design: cfg.Design}
 	countersBefore := cfg.Mgr.Counters()
 	ctx := engine.NewExecCtx()
+	ctx.NoVector = cfg.NoVectorScan
 	if !cfg.NoParallelScan && cfg.Workers > 1 {
 		// The epoch scheduler doubles as the engine's scan pool, so plan
 		// execution and enrichment share one worker budget.
@@ -648,6 +655,7 @@ func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis,
 	defer func() { rt.Planned = nil }()
 
 	ectx := engine.NewExecCtx()
+	ectx.NoVector = cfg.NoVectorScan
 	ectx.Eval.Runtime = rt
 
 	for _, tm := range rwa.Tables {

@@ -308,9 +308,22 @@ func (t *Table) Scan(fn func(*types.Tuple) bool) {
 // This is the entry point of the partitioned parallel scan: one short lock
 // hold, then lock-free row materialization.
 func (t *Table) Tuples() []*types.Tuple {
+	return t.TuplesInto(nil)
+}
+
+// TuplesInto is Tuples with caller-provided backing storage: the snapshot is
+// appended into buf[:0] (growing it only when capacity runs out), so steady
+// repeated scans — the vectorized executor snapshots the slab every query —
+// reuse one buffer instead of allocating a fresh slice per call. The returned
+// slice holds live tuple pointers in slab (insertion) order; the tuples
+// themselves stay immutable copy-on-write as everywhere else.
+func (t *Table) TuplesInto(buf []*types.Tuple) []*types.Tuple {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	out := make([]*types.Tuple, 0, t.live)
+	out := buf[:0]
+	if cap(out) < t.live {
+		out = make([]*types.Tuple, 0, t.live)
+	}
 	for _, tu := range t.slab {
 		if tu != nil {
 			out = append(out, tu)

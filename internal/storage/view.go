@@ -76,10 +76,19 @@ func (v *TableView) Scan(fn func(*types.Tuple) bool) {
 // Tuples returns a freshly allocated slice of the snapshot's tuples in slab
 // order.
 func (v *TableView) Tuples() []*types.Tuple {
+	return v.TuplesInto(nil)
+}
+
+// TuplesInto mirrors Table.TuplesInto: the frozen snapshot is copied into
+// buf[:0], reusing its capacity when possible.
+func (v *TableView) TuplesInto(buf []*types.Tuple) []*types.Tuple {
 	v.mu.RLock()
 	defer v.mu.RUnlock()
-	out := make([]*types.Tuple, len(v.tuples))
-	copy(out, v.tuples)
+	out := buf[:0]
+	if cap(out) < len(v.tuples) {
+		out = make([]*types.Tuple, 0, len(v.tuples))
+	}
+	out = append(out, v.tuples...)
 	return out
 }
 

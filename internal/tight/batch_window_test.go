@@ -1,0 +1,135 @@
+package tight
+
+import (
+	"testing"
+	"time"
+
+	"enrichdb/internal/storage"
+)
+
+// TestBatchWindowCoalescesSequentialReadUDF pins the BatchCoalescer contract
+// on the runtime directly: inside an open window, back-to-back read_udf calls
+// for the same (relation, attr, function-set) gate key pay the invocation
+// overhead once — the first call per key is the leader, the rest ride free.
+// Each window pays afresh, and per-row mode (BatchUDF off) pays every call.
+func TestBatchWindowCoalescesSequentialReadUDF(t *testing.T) {
+	d, mgr, _ := fixture(t)
+	rt := NewRuntime(d.DB, mgr)
+	rt.InvokeOverhead = 50 * time.Microsecond
+	rt.BatchUDF = true
+
+	tbl, err := d.DB.Table("MultiPie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := tbl.(*storage.Table).Tuples()
+	if len(tuples) < 12 {
+		t.Fatalf("fixture has %d MultiPie tuples, need 12", len(tuples))
+	}
+
+	rt.BeginBatchWindow()
+	for _, tu := range tuples[:8] {
+		if _, err := rt.ReadUDF("MultiPie", tu.ID, "gender"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.EndBatchWindow()
+	payments, coalesced := rt.BatchStats()
+	if payments != 1 || coalesced != 7 {
+		t.Fatalf("window 1: payments=%d coalesced=%d, want 1/7", payments, coalesced)
+	}
+
+	// A second window collects its own batch: one more payment, not zero.
+	rt.BeginBatchWindow()
+	for _, tu := range tuples[8:12] {
+		if _, err := rt.ReadUDF("MultiPie", tu.ID, "gender"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.EndBatchWindow()
+	payments, coalesced = rt.BatchStats()
+	if payments != 2 || coalesced != 10 {
+		t.Fatalf("window 2: payments=%d coalesced=%d, want 2/10", payments, coalesced)
+	}
+
+	// Distinct attributes are distinct gate keys: each pays its own leader.
+	rt.BeginBatchWindow()
+	for _, tu := range tuples[:4] {
+		if _, err := rt.ReadUDF("MultiPie", tu.ID, "expression"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.EndBatchWindow()
+	payments, coalesced = rt.BatchStats()
+	if payments != 3 || coalesced != 13 {
+		t.Fatalf("second attr: payments=%d coalesced=%d, want 3/13", payments, coalesced)
+	}
+
+	// Per-row mode on a fresh fixture: every call pays, nothing coalesces —
+	// windows are ignored entirely.
+	d2, mgr2, _ := fixture(t)
+	rt2 := NewRuntime(d2.DB, mgr2)
+	rt2.InvokeOverhead = 50 * time.Microsecond
+	tbl2, err := d2.DB.Table("MultiPie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.BeginBatchWindow()
+	for _, tu := range tbl2.(*storage.Table).Tuples()[:8] {
+		if _, err := rt2.ReadUDF("MultiPie", tu.ID, "gender"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt2.EndBatchWindow()
+	payments, coalesced = rt2.BatchStats()
+	if payments != 8 || coalesced != 0 {
+		t.Fatalf("per-row mode: payments=%d coalesced=%d, want 8/0", payments, coalesced)
+	}
+}
+
+// TestTightVectorizedScanCoalescesUDFOverhead runs the same query end to end
+// in per-row and batched mode: the vectorized scan's residual hand-off must
+// open a coalescing window, so the batched run makes far fewer overhead
+// payments than the per-row run while producing identical answers.
+func TestTightVectorizedScanCoalescesUDFOverhead(t *testing.T) {
+	const q = "SELECT * FROM MultiPie WHERE CameraID < 8 AND gender = 1"
+
+	_, mgrRow, rowDrv := fixture(t)
+	rowDrv.InvokeOverhead = 20 * time.Microsecond
+	rowRes, err := rowDrv.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowPayments := mgrRow.Telemetry().Counter("tight.udf_payments").Value()
+	if rowRes.Enrichments == 0 || rowPayments < 2 {
+		t.Fatalf("per-row baseline vacuous: enrichments=%d payments=%d",
+			rowRes.Enrichments, rowPayments)
+	}
+
+	_, mgrBat, batDrv := fixture(t)
+	batDrv.InvokeOverhead = 20 * time.Microsecond
+	batDrv.BatchUDF = true
+	batRes, err := batDrv.Execute(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batPayments := mgrBat.Telemetry().Counter("tight.udf_payments").Value()
+	batCoalesced := mgrBat.Telemetry().Counter("tight.udf_coalesced").Value()
+
+	if !sameRows(rowRes.Rows, batRes.Rows) {
+		t.Errorf("batched run changed the answer: %d vs %d rows", len(batRes.Rows), len(rowRes.Rows))
+	}
+	if batRes.Enrichments != rowRes.Enrichments {
+		t.Errorf("batched run changed enrichment count: %d vs %d", batRes.Enrichments, rowRes.Enrichments)
+	}
+	if batCoalesced == 0 {
+		t.Error("batched run coalesced nothing; window never engaged")
+	}
+	if batPayments >= rowPayments {
+		t.Errorf("batched run paid %d times, per-row paid %d — no saving", batPayments, rowPayments)
+	}
+	if batPayments+batCoalesced != rowPayments {
+		t.Errorf("payment accounting off: %d paid + %d coalesced != %d per-row payments",
+			batPayments, batCoalesced, rowPayments)
+	}
+}

@@ -60,6 +60,14 @@ type Runtime struct {
 
 	gateMu sync.Mutex
 	gates  map[gateKey]chan struct{}
+
+	// Batch-window state (expr.BatchCoalescer): while a window is open,
+	// sequential read_udf calls coalesce per gate key without needing
+	// concurrent overlap — the vectorized scan hands a whole batch's residual
+	// UDF calls over inside one window.
+	winMu    sync.Mutex
+	winDepth int
+	winPaid  map[gateKey]bool
 }
 
 // gateKey identifies one micro-batch: read_udf calls over the same relation,
@@ -294,15 +302,61 @@ func (rt *Runtime) overhead() {
 	spinFor(rt.InvokeOverhead)
 }
 
+// BeginBatchWindow opens a sequential coalescing window (expr.BatchCoalescer):
+// until the matching EndBatchWindow, batched read_udf calls pay the
+// invocation overhead once per gate key — the batch-at-a-time analogue of the
+// concurrent gate below, for the engine's vectorized scan where the calls of
+// one batch arrive back to back on a single goroutine. Windows nest; only
+// active when BatchUDF is on (per-row mode ignores them entirely).
+func (rt *Runtime) BeginBatchWindow() {
+	rt.winMu.Lock()
+	rt.winDepth++
+	if rt.winPaid == nil {
+		rt.winPaid = make(map[gateKey]bool)
+	}
+	rt.winMu.Unlock()
+}
+
+// EndBatchWindow closes the innermost window; the outermost close resets the
+// paid set so the next window pays afresh.
+func (rt *Runtime) EndBatchWindow() {
+	rt.winMu.Lock()
+	if rt.winDepth > 0 {
+		rt.winDepth--
+		if rt.winDepth == 0 {
+			rt.winPaid = nil
+		}
+	}
+	rt.winMu.Unlock()
+}
+
+var _ expr.BatchCoalescer = (*Runtime)(nil)
+
 // batchedOverhead pays the invocation tax once per batch: the first caller
 // for a gate key becomes the leader and spins for InvokeOverhead — that spin
 // is the batch's collection window — while calls for the same key arriving
 // meanwhile wait on the leader and ride its payment, exactly like rows
-// sharing one table-UDF invocation.
+// sharing one table-UDF invocation. Inside an open batch window the
+// collection is positional rather than temporal: the window's first call per
+// key pays, every later call rides free.
 func (rt *Runtime) batchedOverhead(key gateKey) {
 	if rt.InvokeOverhead <= 0 {
 		return
 	}
+	rt.winMu.Lock()
+	if rt.winDepth > 0 {
+		if rt.winPaid[key] {
+			rt.winMu.Unlock()
+			rt.coalesced.Add(1)
+			return
+		}
+		rt.winPaid[key] = true
+		rt.winMu.Unlock()
+		rt.batches.Add(1)
+		spinFor(rt.InvokeOverhead)
+		return
+	}
+	rt.winMu.Unlock()
 	rt.gateMu.Lock()
 	if rt.gates == nil {
 		rt.gates = make(map[gateKey]chan struct{})

@@ -68,6 +68,9 @@ func (h *Hasher) WriteValue(v Value) {
 	case KindVector:
 		h.WriteUint64(uint64(len(v.vec)))
 		for _, f := range v.vec {
+			if f == 0 {
+				f = 0 // fold -0.0 per element, matching Key and KeyEqual
+			}
 			h.WriteUint64(math.Float64bits(f))
 		}
 	}
@@ -113,7 +116,14 @@ func KeyEqual(a, b Value) bool {
 			return false
 		}
 		for i := range a.vec {
-			if math.Float64bits(a.vec[i]) != math.Float64bits(b.vec[i]) {
+			af, bf := a.vec[i], b.vec[i]
+			if af == 0 {
+				af = 0
+			}
+			if bf == 0 {
+				bf = 0
+			}
+			if math.Float64bits(af) != math.Float64bits(bf) {
 				return false
 			}
 		}

@@ -220,6 +220,11 @@ func (v Value) Key() string {
 		var sb strings.Builder
 		sb.WriteByte('v')
 		for _, f := range v.vec {
+			// Normalize -0 per element, exactly as the scalar FLOAT case
+			// does, so [-0.0] and [0.0] share one group-by/join key.
+			if f == 0 {
+				f = 0
+			}
 			sb.WriteString(strconv.FormatUint(math.Float64bits(f), 16))
 			sb.WriteByte(',')
 		}
