@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race soak bench bench-kernel bench-vector bench-smoke fuzz tidy staticcheck trace-demo
+.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke serve-race fuzz tidy staticcheck trace-demo
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
-check: vet staticcheck build test race bench-smoke
+check: vet staticcheck build test race serve-race bench-smoke bench-serve
 
 vet:
 	$(GO) vet ./...
@@ -51,9 +51,27 @@ SOAK_SECONDS ?= 10
 soak:
 	HARNESS_SOAK_SECONDS=$(SOAK_SECONDS) $(GO) test -race -count=1 -run TestSoak -timeout $$(( $(SOAK_SECONDS) + 120 ))s ./internal/harness
 
-# Short fuzz pass over the SQL parser (no panics; print/parse round-trip).
+# Race pass over the serving tier: the wire codec, the TCP server and its
+# chaos matrix (half-open peers, slowloris handshakes, abrupt disconnects,
+# kill-during-stream, drain under load), the wire client, and the tenant
+# admission tests in the root package.
+serve-race:
+	$(GO) test -race -count=1 ./internal/wire/... ./internal/server/... ./internal/testutil/... \
+		&& $(GO) test -race -count=1 -run 'TestTenant|TestPriority|TestAdmission|TestSessionTenant|TestQuotaRelease' . \
+		&& $(GO) test -race -count=1 -run TestRemoteDrainUnderLoad ./internal/loose/remote
+
+# Pinned-seed network soak: the serving chaos matrix and drain battery loop
+# under the race detector for N seconds. Override: make serve-soak SOAK_SECONDS=60
+serve-soak:
+	$(GO) test -race -count=$$(( $(SOAK_SECONDS) / 5 + 1 )) -timeout $$(( $(SOAK_SECONDS) + 300 ))s \
+		-run 'TestChaos|TestDrainUnderLoad' ./internal/server
+
+# Short fuzz pass over the SQL parser (no panics; print/parse round-trip)
+# and the wire-protocol frame codec (decode/encode round-trip, truncation
+# and mutation safety, seeded from the checked-in corpus).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparser
+	$(GO) test -fuzz FuzzFrame -fuzztime 30s ./internal/wire
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -124,6 +142,18 @@ bench-vector:
 			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
 	done; } | $(GO) run ./cmd/benchjson -label vector -out BENCH_vector.json
 	@rm -f .bench-vector.test
+
+# Serving-tier load benchmark: the load generator drives an in-process wire
+# server with SERVE_CONNS concurrent connections across mixed tenants and
+# folds p50/p95/p99/mean/throughput into BENCH_serve.json. The committed
+# numbers were recorded with SERVE_CONNS=1000 SERVE_SECONDS=5s; the default
+# here is scaled down so `make check` stays fast.
+SERVE_CONNS ?= 200
+SERVE_SECONDS ?= 2s
+bench-serve:
+	$(GO) run ./cmd/loadgen -conns $(SERVE_CONNS) -duration $(SERVE_SECONDS) -rows 256 \
+		| $(GO) run ./cmd/benchjson -label current -out BENCH_serve.json \
+		-note "Wire-protocol serving-tier load test (loadgen): query latency percentiles and mean inter-completion gap; regenerate with \`make bench-serve\` (headline label: SERVE_CONNS=1000 SERVE_SECONDS=5s)."
 
 tidy:
 	gofmt -l -w .

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"enrichdb"
+	"enrichdb/internal/server"
+	"enrichdb/internal/testutil/servedb"
+)
+
+// runListen serves the deterministic workload database over the wire
+// protocol until SIGINT/SIGTERM, then drains gracefully: the listener
+// closes, in-flight queries finish (bounded by the drain timeout), and
+// connected clients get a Drain notice.
+func runListen(addr string, rows int, seed int64, maxSessions int, timeout time.Duration, tokens string) error {
+	db, err := servedb.New(rows, seed, nil)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	db.SetServing(enrichdb.ServingConfig{
+		MaxSessions:  maxSessions,
+		QueueTimeout: timeout,
+	})
+
+	cfg := server.Config{
+		DB: db,
+		Progressive: enrichdb.ProgressiveOptions{
+			EpochBudget: 5 * time.Millisecond,
+			MaxEpochs:   200,
+			Seed:        seed,
+		},
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	}
+	if tokens != "" {
+		cfg.Tokens = make(map[string]string)
+		for _, pair := range strings.Split(tokens, ",") {
+			tok, tenant, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("bad -tokens entry %q (want token=tenant)", pair)
+			}
+			cfg.Tokens[tok] = tenant
+		}
+	}
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving %s (%d rows, seed %d) on %s; SIGTERM drains\n",
+		servedb.Relation, rows, seed, s.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "%v: draining...\n", got)
+	s.Drain(fmt.Sprintf("server shutting down (%v)", got))
+	fmt.Fprintln(os.Stderr, "drained.")
+	fmt.Print(db.Telemetry().Snapshot().String())
+	return nil
+}

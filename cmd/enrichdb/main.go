@@ -26,6 +26,17 @@
 // deterministic harness oracles (serial-replay equivalence and the
 // monotone-enrichment invariant) and reports its seed; a reported seed
 // reproduces the exact run.
+//
+// Network mode:
+//
+//	enrichdb -listen :7070 [-rows N] [-seed S] [-max-sessions K]
+//	         [-session-timeout D] [-tokens tok=tenant,...]
+//
+// -listen serves the deterministic workload database over the binary wire
+// protocol (internal/wire): clients handshake with a tenant token, run
+// queries under any design, and stream columnar result batches. SIGTERM or
+// SIGINT drains gracefully — in-flight queries finish, connected clients
+// get a Drain notice — then the telemetry snapshot prints.
 package main
 
 import (
@@ -52,6 +63,9 @@ func main() {
 	traceFile := flag.String("trace", "", "write JSONL spans to this file")
 	metrics := flag.Bool("metrics", false, "print the telemetry snapshot on exit")
 	serve := flag.Bool("serve", false, "run the verified concurrent serving workload instead of the REPL")
+	listen := flag.String("listen", "", "serve the wire protocol on this address (e.g. :7070) instead of the REPL")
+	rows := flag.Int("rows", 2000, "listen mode: workload rows to seed")
+	tokens := flag.String("tokens", "", "listen mode: comma-separated token=tenant auth pairs (empty = any token)")
 	writers := flag.Int("writers", 4, "serving mode: concurrent writers")
 	serveSessions := flag.Int("serve-sessions", 4, "serving mode: concurrent query sessions")
 	maxSessions := flag.Int("max-sessions", 3, "serving mode: admission limit (0 = unlimited)")
@@ -60,6 +74,12 @@ func main() {
 	seconds := flag.Int("seconds", 5, "serving mode: how long to iterate")
 	flag.Parse()
 
+	if *listen != "" {
+		if err := runListen(*listen, *rows, *seed, *maxSessions, *sessionTimeout, *tokens); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *serve {
 		if err := runServe(*writers, *serveSessions, *maxSessions, *sessionTimeout, *seed, *seconds); err != nil {
 			log.Fatal(err)

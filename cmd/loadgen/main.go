@@ -1,0 +1,214 @@
+// Command loadgen drives the wire serving tier with many concurrent
+// connections across mixed tenants and reports latency percentiles and
+// throughput. Without -addr it starts an in-process server over the
+// deterministic workload database, so `make bench-serve` needs no external
+// process; with -addr it hammers a live `enrichdb -listen` server.
+//
+// Usage:
+//
+//	loadgen [-conns 1000] [-duration 5s] [-rows 512] [-tenants 4]
+//	        [-design loose|tight|plain|mix] [-addr host:port] [-seed 1]
+//
+// Results print as `go test -bench`-shaped lines (pipe through
+// cmd/benchjson to persist them in BENCH_serve.json):
+//
+//	BenchmarkServeP50    8123    412000 ns/op
+//	BenchmarkServeP95    8123   1904000 ns/op
+//	BenchmarkServeP99    8123   3112000 ns/op
+//	BenchmarkServeMean   8123    533000 ns/op
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enrichdb"
+	"enrichdb/internal/server"
+	"enrichdb/internal/testutil/servedb"
+	"enrichdb/internal/wire"
+	"enrichdb/internal/wire/client"
+)
+
+func main() {
+	conns := flag.Int("conns", 1000, "concurrent connections")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	rows := flag.Int("rows", 512, "workload rows (in-process server only)")
+	tenants := flag.Int("tenants", 4, "distinct tenants to spread connections across")
+	designFlag := flag.String("design", "mix", "query design: loose, tight, plain or mix")
+	addr := flag.String("addr", "", "target server (empty = start one in-process)")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*conns, *duration, *rows, *tenants, *designFlag, *addr, *seed); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func pickDesign(name string, i int) (wire.Design, error) {
+	switch name {
+	case "loose":
+		return wire.DesignLoose, nil
+	case "tight":
+		return wire.DesignTight, nil
+	case "plain":
+		return wire.DesignPlain, nil
+	case "mix":
+		return []wire.Design{wire.DesignLoose, wire.DesignTight, wire.DesignPlain}[i%3], nil
+	default:
+		return 0, fmt.Errorf("unknown design %q", name)
+	}
+}
+
+func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr string, seed int64) error {
+	if tenants < 1 {
+		tenants = 1
+	}
+	tokens := make(map[string]string, tenants)
+	tenantCfg := make(map[string]enrichdb.TenantConfig, tenants)
+	for i := 0; i < tenants; i++ {
+		name := fmt.Sprintf("tenant-%d", i)
+		tokens["tok-"+name] = name
+		// Mixed priorities: higher-numbered tenants admit first under
+		// contention, exercising the priority queue at scale.
+		tenantCfg[name] = enrichdb.TenantConfig{Priority: i % 3}
+	}
+
+	var srv *server.Server
+	if addr == "" {
+		db, err := servedb.New(rows, seed, nil)
+		if err != nil {
+			return err
+		}
+		defer db.Close()
+		db.SetServing(enrichdb.ServingConfig{
+			QueueTimeout: 30 * time.Second,
+			Tenants:      tenantCfg,
+		})
+		srv, err = server.New(server.Config{DB: db, Tokens: tokens})
+		if err != nil {
+			return err
+		}
+		if err := srv.Listen("127.0.0.1:0"); err != nil {
+			return err
+		}
+		defer srv.Close()
+		addr = srv.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s (%d rows, seed %d)\n", addr, rows, seed)
+	}
+
+	// Connect everyone first so the measurement window only sees steady
+	// state, not the dial ramp.
+	clients := make([]*client.Client, conns)
+	var dialWG sync.WaitGroup
+	var dialErrs atomic.Int64
+	for i := range clients {
+		dialWG.Add(1)
+		go func(i int) {
+			defer dialWG.Done()
+			c, err := client.Dial(addr, client.Options{
+				Token:       fmt.Sprintf("tok-tenant-%d", i%tenants),
+				Client:      fmt.Sprintf("loadgen-%d", i),
+				DialTimeout: 30 * time.Second,
+			})
+			if err != nil {
+				dialErrs.Add(1)
+				return
+			}
+			clients[i] = c
+		}(i)
+	}
+	dialWG.Wait()
+	if n := dialErrs.Load(); n > 0 {
+		return fmt.Errorf("loadgen: %d/%d connections failed to dial", n, conns)
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d connections up across %d tenants\n", conns, tenants)
+
+	type shard struct {
+		lat  []time.Duration
+		errs int
+	}
+	shards := make([]shard, conns)
+	ctx, cancel := context.WithTimeout(context.Background(), duration)
+	defer cancel()
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client.Client) {
+			defer wg.Done()
+			defer c.Close()
+			sh := &shards[i]
+			for q := 0; ; q++ {
+				if ctx.Err() != nil {
+					return
+				}
+				design, err := pickDesign(designFlag, i+q)
+				if err != nil {
+					sh.errs++
+					return
+				}
+				t0 := time.Now()
+				_, err = c.Query(ctx, design, servedb.SampleQuery(i+q))
+				if err != nil {
+					if ctx.Err() == nil {
+						sh.errs++
+					}
+					return
+				}
+				sh.lat = append(sh.lat, time.Since(t0))
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	errs := 0
+	for i := range shards {
+		all = append(all, shards[i].lat...)
+		errs += shards[i].errs
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("loadgen: no queries completed (%d errors)", errs)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(all)-1))
+		return all[idx]
+	}
+	var sum time.Duration
+	for _, d := range all {
+		sum += d
+	}
+	qps := float64(len(all)) / elapsed.Seconds()
+
+	fmt.Fprintf(os.Stderr,
+		"loadgen: %d queries over %d conns in %v — %.0f qps, %d errors\np50 %v  p95 %v  p99 %v  mean %v  max %v\n",
+		len(all), conns, elapsed.Round(time.Millisecond), qps, errs,
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), (sum / time.Duration(len(all))).Round(time.Microsecond),
+		all[len(all)-1].Round(time.Microsecond))
+
+	// go test -bench shaped lines for cmd/benchjson; the iteration count is
+	// the completed-query count, ns/op carries the statistic.
+	n := len(all)
+	fmt.Printf("BenchmarkServeP50 \t%d\t%d ns/op\n", n, pct(0.50).Nanoseconds())
+	fmt.Printf("BenchmarkServeP95 \t%d\t%d ns/op\n", n, pct(0.95).Nanoseconds())
+	fmt.Printf("BenchmarkServeP99 \t%d\t%d ns/op\n", n, pct(0.99).Nanoseconds())
+	fmt.Printf("BenchmarkServeMean \t%d\t%d ns/op\n", n, (sum / time.Duration(n)).Nanoseconds())
+	// Mean inter-completion gap: 1e9/qps — throughput in ns/op clothing.
+	fmt.Printf("BenchmarkServeThroughput \t%d\t%d ns/op\n", n, int64(float64(elapsed.Nanoseconds())/float64(n)))
+
+	if errs > 0 {
+		return fmt.Errorf("loadgen: %d queries failed", errs)
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,6 +12,10 @@ import (
 	"enrichdb/internal/storage"
 	"enrichdb/internal/types"
 )
+
+// ErrCanceled is returned by plan execution when the context's Done channel
+// fires. Callers holding a context.Context translate it to ctx.Err().
+var ErrCanceled = errors.New("engine: execution canceled")
 
 // Stats collects executor counters; Exp 4 of the paper reports the UDF
 // invocation counts gathered here together with expr.EvalCtx.
@@ -81,6 +86,11 @@ type ExecCtx struct {
 	// Living on the context (not a package variable) keeps concurrent
 	// sessions from racing on each other's ablation settings.
 	ParallelMinRows int
+	// Done, when non-nil, cancels execution: plan nodes poll it between
+	// batches of work and abort with ErrCanceled once it is closed. Wire it
+	// to a context's Done channel to make long scans, filters and joins
+	// killable mid-flight.
+	Done <-chan struct{}
 	// vec holds the context's reusable vectorized-scan buffers (snapshot,
 	// batch, bitmaps); lazily built, never shared across goroutines.
 	vec *vecBufs
@@ -101,6 +111,24 @@ func (ctx *ExecCtx) parallelMinRows() int {
 // no UDF runtime.
 func NewExecCtx() *ExecCtx {
 	return &ExecCtx{Eval: &expr.EvalCtx{}, Stats: &Stats{}, Arena: &expr.RowArena{}}
+}
+
+// cancelCheckStride is how many rows a loop processes between Done polls —
+// frequent enough that cancellation lands within microseconds, rare enough
+// that the poll never shows up in a profile.
+const cancelCheckStride = 1024
+
+// cancelErr polls the context's Done channel; ErrCanceled once it fired.
+func (ctx *ExecCtx) cancelErr() error {
+	if ctx.Done == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done:
+		return ErrCanceled
+	default:
+		return nil
+	}
 }
 
 // PublishStats publishes the executor counters plus the arena's allocation
@@ -233,14 +261,19 @@ func (f *Filter) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	if ownsResult(f.Child) {
 		out = in[:0]
 	}
-	return f.filterInto(ctx.Eval, in, out)
+	return f.filterInto(ctx, in, out)
 }
 
 // filterInto appends the rows of in that satisfy the predicate to out; out
 // may alias in's prefix (the write index never passes the read index).
-func (f *Filter) filterInto(eval *expr.EvalCtx, in, out []*expr.Row) ([]*expr.Row, error) {
-	for _, r := range in {
-		tv, err := expr.EvalPred(eval, f.Pred, r)
+func (f *Filter) filterInto(ctx *ExecCtx, in, out []*expr.Row) ([]*expr.Row, error) {
+	for i, r := range in {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.cancelErr(); err != nil {
+				return nil, err
+			}
+		}
+		tv, err := expr.EvalPred(ctx.Eval, f.Pred, r)
 		if err != nil {
 			return nil, err
 		}
@@ -261,7 +294,7 @@ func (f *Filter) scanFilter(ctx *ExecCtx, s *Scan) ([]*expr.Row, error) {
 	n := len(tuples)
 	if n < ctx.parallelMinRows() {
 		in := s.materialize(ctx, tuples)
-		return f.filterInto(ctx.Eval, in, in[:0])
+		return f.filterInto(ctx, in, in[:0])
 	}
 	parts := ctx.Pool.Workers()
 	if parts > n {
@@ -285,9 +318,10 @@ func (f *Filter) scanFilter(ctx *ExecCtx, s *Scan) ([]*expr.Row, error) {
 			Stats:    &Stats{},
 			Arena:    &expr.RowArena{},
 			CopyRows: ctx.CopyRows,
+			Done:     ctx.Done,
 		}
 		in := s.materialize(pctx, tuples[lo:hi])
-		out, err := f.filterInto(pctx.Eval, in, in[:0])
+		out, err := f.filterInto(pctx, in, in[:0])
 		results[pi] = out
 		return err
 	})
@@ -374,7 +408,12 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 			}
 			ht[h] = append(ht[h], r)
 		}
-		for _, l := range left {
+		for li, l := range left {
+			if li%cancelCheckStride == 0 {
+				if err := ctx.cancelErr(); err != nil {
+					return nil, err
+				}
+			}
 			h, ok := hashRowKey(l, j.HashKeysL, 0)
 			if !ok {
 				continue
@@ -403,6 +442,9 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 	}
 	ctx.Stats.NLJoins++
 	for _, l := range left {
+		if err := ctx.cancelErr(); err != nil {
+			return nil, err
+		}
 		for _, r := range right {
 			ctx.Stats.JoinPairs++
 			row := ctx.Arena.JoinRows(j.rs, l, r)
@@ -481,7 +523,12 @@ func (j *Join) hashJoinInt(ctx *ExecCtx, left, right []*expr.Row, rOffset int) (
 		}
 		ctx.Arena.Reserve(total, total*len(j.rs.Cols), total*len(j.rs.Slots))
 		out := make([]*expr.Row, 0, total)
-		for _, l := range left {
+		for li, l := range left {
+			if li%cancelCheckStride == 0 {
+				if err := ctx.cancelErr(); err != nil {
+					return nil, true, err
+				}
+			}
 			v := l.Vals[lk]
 			if v.IsNull() || v.Kind() != types.KindInt {
 				continue
@@ -494,7 +541,12 @@ func (j *Join) hashJoinInt(ctx *ExecCtx, left, right []*expr.Row, rOffset int) (
 		return out, true, nil
 	}
 	var out []*expr.Row
-	for _, l := range left {
+	for li, l := range left {
+		if li%cancelCheckStride == 0 {
+			if err := ctx.cancelErr(); err != nil {
+				return nil, true, err
+			}
+		}
 		v := l.Vals[lk]
 		if v.IsNull() || v.Kind() != types.KindInt {
 			continue // non-INT probe keys can never equal an INT build key

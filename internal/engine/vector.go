@@ -75,6 +75,9 @@ func vecSelect(ctx *ExecCtx, rs *expr.RowSchema, vp *expr.VecPred, tuples []*typ
 	bufs.nf = bufs.nf.Reset(n)
 	bufs.nf.SetAll(n)
 	for lo := 0; lo < n; lo += expr.BatchSize {
+		if ctx.cancelErr() != nil {
+			return nil, nil, false // caller's row path surfaces ErrCanceled
+		}
 		hi := lo + expr.BatchSize
 		if hi > n {
 			hi = n

@@ -183,3 +183,36 @@ func (m *PanicModel) PredictProba(x []float64) []float64 {
 
 // Fired reports whether the injected panic has happened.
 func (m *PanicModel) Fired() bool { return m.fired.Load() }
+
+// SlowModel wraps an ml.Classifier, sleeping Delay before every PredictProba
+// call. Enrichment-heavy queries over a SlowModel run long enough for
+// cancellation, kill and drain tests to land mid-execution deterministically.
+type SlowModel struct {
+	Inner ml.Classifier
+	Delay time.Duration
+
+	calls atomic.Int64
+}
+
+// Name implements ml.Classifier.
+func (m *SlowModel) Name() string { return "slow(" + m.Inner.Name() + ")" }
+
+// Fit implements ml.Classifier.
+func (m *SlowModel) Fit(X [][]float64, y []int, classes int) error {
+	return m.Inner.Fit(X, y, classes)
+}
+
+// Classes implements ml.Classifier.
+func (m *SlowModel) Classes() int { return m.Inner.Classes() }
+
+// PredictProba implements ml.Classifier with the configured delay.
+func (m *SlowModel) PredictProba(x []float64) []float64 {
+	m.calls.Add(1)
+	if m.Delay > 0 {
+		time.Sleep(m.Delay)
+	}
+	return m.Inner.PredictProba(x)
+}
+
+// Calls returns how many predictions the wrapper has served.
+func (m *SlowModel) Calls() int64 { return m.calls.Load() }

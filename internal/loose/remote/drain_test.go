@@ -1,0 +1,76 @@
+package remote
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"enrichdb/internal/loose"
+	"enrichdb/internal/testutil"
+)
+
+// isRemoteDrainErr accepts the errors a client may legitimately see while
+// the enrichment server shuts down underneath it.
+func isRemoteDrainErr(err error) bool {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return true
+	}
+	msg := err.Error()
+	return strings.Contains(msg, "connection refused") ||
+		strings.Contains(msg, "connection reset") ||
+		strings.Contains(msg, "broken pipe") ||
+		strings.Contains(msg, "use of closed network connection") ||
+		strings.Contains(msg, "server draining") ||
+		strings.Contains(msg, "deadline") ||
+		strings.Contains(msg, "timeout")
+}
+
+// TestRemoteDrainUnderLoad runs the shared drain battery against the
+// enrichment RPC server: the same graceful-shutdown contract the wire
+// serving tier is held to.
+func TestRemoteDrainUnderLoad(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	d, mgr := setup(t)
+	srv, addr, err := Serve("127.0.0.1:0", mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := false
+	defer func() {
+		if !closed {
+			srv.Close()
+		}
+	}()
+
+	tbl := d.DB.MustTable("TweetData")
+	fi := tbl.Schema().ColIndex("feature")
+	reqs := []loose.Request{{
+		Relation: "TweetData", TID: 1, Attr: "sentiment", FnID: 0,
+		Feature: tbl.Get(1).Vals[fi].Vector(),
+	}}
+
+	testutil.DrainBattery(t, testutil.DrainSpec{
+		Workers: 4,
+		Warmup:  50 * time.Millisecond,
+		Work: func(w int) error {
+			client, err := DialOptions(addr, fastOpts())
+			if err != nil {
+				return err
+			}
+			defer client.Close()
+			for i := 0; i < 3; i++ {
+				if _, _, err := client.EnrichBatch(reqs); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+		Drain: func() {
+			srv.Close()
+			closed = true
+		},
+		DrainingErr: isRemoteDrainErr,
+	})
+}

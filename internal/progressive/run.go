@@ -123,6 +123,26 @@ type Config struct {
 	// blocks until it returns, so keep the callback cheap (or hand the
 	// report off to a channel) when latency matters.
 	OnEpoch func(EpochReport)
+
+	// Cancel, when non-nil, stops the run at the next epoch boundary once
+	// closed: the loop exits before planning another epoch and the run
+	// returns the answer refined so far. Cancellation is not an error — a
+	// canceled progressive query is just a less-refined one, exactly like
+	// hitting MaxEpochs early.
+	Cancel <-chan struct{}
+}
+
+// canceled reports whether the cancel channel (possibly nil) has fired.
+func canceled(ch <-chan struct{}) bool {
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
 }
 
 // EpochReport is the per-epoch telemetry of a run.
@@ -304,6 +324,9 @@ func Run(cfg Config) (*Result, error) {
 	// ---- Epochs e₁..e_g. ----
 	reExecBefore := cfg.Mgr.Counters().ReExecTime
 	for epoch := 1; epoch <= cfg.MaxEpochs; epoch++ {
+		if canceled(cfg.Cancel) {
+			break
+		}
 		if space.Compact(cfg.Mgr) == 0 {
 			break
 		}

@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"enrichdb"
+	"enrichdb/internal/faultinject"
+	"enrichdb/internal/testutil"
+	"enrichdb/internal/wire"
+	"enrichdb/internal/wire/client"
+)
+
+// newRawConn dials the server without the wire client, for tests that need
+// to misbehave at the byte level.
+func newRawConn(addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, 2*time.Second)
+}
+
+// waitGauge polls a telemetry gauge until it reaches want or the deadline
+// passes.
+func waitGauge(t *testing.T, db *enrichdb.DB, name string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := db.Telemetry().Gauge(name).Value()
+		if got == want {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestChaosHalfOpenPeer: a client that connects and never speaks is evicted
+// by the handshake deadline instead of pinning a connection slot forever.
+func TestChaosHalfOpenPeer(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	db, _, addr := start(t, 4, nil, func(cfg *Config) {
+		cfg.HandshakeTimeout = 50 * time.Millisecond
+	})
+	nc, err := newRawConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	waitGauge(t, db, "serve.conn_open", 0)
+	if got := db.Telemetry().Counter("serve.handshake_rejected").Value(); got != 1 {
+		t.Errorf("serve.handshake_rejected = %d, want 1", got)
+	}
+	// No session was ever bound for the silent peer.
+	if got := db.Telemetry().Gauge("serve.sessions_active").Value(); got != 0 {
+		t.Errorf("serve.sessions_active = %d, want 0", got)
+	}
+}
+
+// TestChaosSlowloris: a valid Hello trickled one byte at a time cannot
+// outlast the handshake deadline — the deadline bounds the whole handshake,
+// not the gap between bytes.
+func TestChaosSlowloris(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	db, _, addr := start(t, 4, nil, func(cfg *Config) {
+		cfg.HandshakeTimeout = 100 * time.Millisecond
+	})
+	nc, err := newRawConn(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	frame, err := wire.AppendFrame(nil, &wire.Hello{Proto: wire.ProtoVersion, Client: "slowloris"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dripped := 0
+	for _, b := range frame {
+		if _, err := nc.Write([]byte{b}); err != nil {
+			break // server hung up — exactly what we want
+		}
+		dripped++
+		time.Sleep(20 * time.Millisecond)
+	}
+	if dripped == len(frame) {
+		t.Fatalf("server accepted the full %d-byte handshake at 1 byte per 20ms", len(frame))
+	}
+	waitGauge(t, db, "serve.conn_open", 0)
+	if got := db.Telemetry().Counter("serve.handshake_rejected").Value(); got < 1 {
+		t.Errorf("serve.handshake_rejected = %d, want >= 1", got)
+	}
+	if got := db.Telemetry().Gauge("serve.sessions_active").Value(); got != 0 {
+		t.Errorf("serve.sessions_active = %d, want 0", got)
+	}
+}
+
+// TestChaosMidQueryDisconnect: a client that vanishes mid-query releases its
+// session slot — proved by capping MaxSessions at 1 and requiring a new
+// connection to be admitted afterwards.
+func TestChaosMidQueryDisconnect(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	db, _, addr := start(t, 60,
+		&faultinject.SlowModel{Inner: testutil.StepModel(), Delay: 2 * time.Millisecond}, nil)
+	db.SetServing(enrichdb.ServingConfig{MaxSessions: 1, QueueTimeout: 2 * time.Second})
+
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go c.Query(context.Background(), wire.DesignLoose, "SELECT id FROM events WHERE label = 1")
+	time.Sleep(15 * time.Millisecond)
+	// Abrupt disconnect: no Cancel, no goodbye, just a closed socket.
+	c.Close()
+
+	waitGauge(t, db, "serve.sessions_active", 0)
+
+	// The single session slot is free again: a new connection is admitted and
+	// can run a query end to end.
+	c2, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatalf("dial after abrupt disconnect: %v", err)
+	}
+	defer c2.Close()
+	if _, err := c2.Query(context.Background(), wire.DesignPlain, "SELECT id FROM events WHERE grp = 1"); err != nil {
+		t.Fatalf("query after abrupt disconnect: %v", err)
+	}
+}
+
+// TestChaosKillDuringStream: killing a progressive query mid-stream delivers
+// at least one Epoch frame and then a clean CodeCanceled, never a stall.
+func TestChaosKillDuringStream(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	_, _, addr := start(t, 80,
+		&faultinject.SlowModel{Inner: testutil.StepModel(), Delay: time.Millisecond},
+		func(cfg *Config) {
+			cfg.Progressive = enrichdb.ProgressiveOptions{
+				EpochBudget: 5 * time.Millisecond,
+				MaxEpochs:   1000,
+				Seed:        7,
+			}
+		})
+	victim, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer victim.Close()
+	killer, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer killer.Close()
+
+	epochSeen := make(chan struct{}, 1)
+	errc := make(chan error, 1)
+	go func() {
+		_, err := victim.QueryFunc(context.Background(), wire.DesignProgressive,
+			"SELECT id, label FROM events WHERE label = 0",
+			func(ep wire.Epoch) {
+				select {
+				case epochSeen <- struct{}{}:
+				default:
+				}
+			}, nil)
+		errc <- err
+	}()
+	select {
+	case <-epochSeen:
+	case <-time.After(10 * time.Second):
+		t.Fatal("no epoch frame arrived")
+	}
+	n, err := killer.Kill(context.Background(), victim.ConnID(), 0)
+	if err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+	select {
+	case qerr := <-errc:
+		if n >= 1 {
+			// The kill landed mid-flight: the stream must end in CodeCanceled.
+			var we *wire.Error
+			if !errors.As(qerr, &we) || we.Code != wire.CodeCanceled {
+				t.Fatalf("killed stream: got %v, want CodeCanceled", qerr)
+			}
+		} else if qerr != nil {
+			// The query finished just before the kill; that race is fine, but
+			// the completed query must have succeeded.
+			t.Fatalf("query finished before kill yet failed: %v", qerr)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("killed stream did not terminate")
+	}
+}
+
+// TestChaosIdleConnSurvives: an idle-timeout-free server keeps quiet
+// connections; with IdleTimeout set, a quiet connection is reaped but an
+// active one is not.
+func TestChaosIdleTimeout(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	db, _, addr := start(t, 8, nil, func(cfg *Config) {
+		cfg.IdleTimeout = 60 * time.Millisecond
+	})
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// Stay quiet past the idle deadline with nothing in flight: reaped.
+	waitGauge(t, db, "serve.conn_open", 0)
+	waitGauge(t, db, "serve.sessions_active", 0)
+}

@@ -1,0 +1,666 @@
+// Package server is enrichdb's network front end: a TCP listener speaking
+// the wire protocol, binding one snapshot-isolated session per connection
+// and streaming columnar result batches back to clients.
+//
+// Connection lifecycle: accept → handshake (Hello/Welcome under a deadline,
+// token → tenant) → session bind (db.SessionFor, so per-tenant quotas and
+// priorities admit or queue the connection) → serve loop (frames dispatched,
+// queries run in per-query goroutines with their own cancel contexts) →
+// drain (session closed, quota released — also on abrupt disconnect).
+//
+// Queries are killable: a Cancel frame aborts the sender's own in-flight
+// query, a Kill frame aborts queries on another connection of the same
+// tenant. Cancellation reaches plain and progressive executions mid-flight
+// (the engine polls the context between batches; the progressive loop checks
+// it per epoch); loose and tight executions cancel at stream boundaries.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"enrichdb"
+	"enrichdb/internal/telemetry"
+	"enrichdb/internal/wire"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// DB is the database to serve. Required.
+	DB *enrichdb.DB
+	// Tokens maps handshake auth tokens to tenant names. With a nil map any
+	// token is accepted and bound to the default tenant ""; with a non-nil
+	// map, unknown tokens are refused (CodeAuth).
+	Tokens map[string]string
+	// HandshakeTimeout bounds the Hello/Welcome exchange (default 5s) — a
+	// peer trickling its handshake one byte at a time is cut off here.
+	HandshakeTimeout time.Duration
+	// IdleTimeout closes connections with no inbound frame for this long;
+	// zero means no idle limit. In-flight queries extend the allowance: the
+	// deadline is re-armed per frame *and* while queries are outstanding.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each outbound frame write (default 10s); a
+	// consumer stalling the stream longer loses the connection
+	// (CodeSlowConsumer is sent on a best-effort basis).
+	WriteTimeout time.Duration
+	// DrainTimeout bounds how long Drain waits for in-flight queries before
+	// force-closing connections (default 5s).
+	DrainTimeout time.Duration
+	// MaxFrame caps accepted frame sizes (default wire.MaxFrameLen).
+	MaxFrame int
+	// BatchRows is the result-stream stride (default wire.DefaultBatchRows).
+	BatchRows int
+	// Progressive is the option template for progressive queries (Design,
+	// OnEpoch, Quality and Cancel are overridden per query).
+	Progressive enrichdb.ProgressiveOptions
+	// Logf, when non-nil, receives connection-level diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// Server is the TCP serving tier.
+type Server struct {
+	cfg Config
+	reg *telemetry.Registry
+
+	mu          sync.Mutex
+	ln          net.Listener
+	conns       map[uint64]*conn
+	nextConn    uint64
+	draining    bool
+	drainReason string
+	closed      bool
+
+	wg sync.WaitGroup // accept loop + connection handlers
+}
+
+// New builds a server (not yet listening).
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, errors.New("server: Config.DB is required")
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = 10 * time.Second
+	}
+	if cfg.DrainTimeout <= 0 {
+		cfg.DrainTimeout = 5 * time.Second
+	}
+	if cfg.BatchRows <= 0 || cfg.BatchRows > wire.MaxBatchRows {
+		cfg.BatchRows = wire.DefaultBatchRows
+	}
+	return &Server{cfg: cfg, reg: cfg.DB.Telemetry(), conns: make(map[uint64]*conn)}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Listen binds addr and starts accepting in the background. Use Addr for
+// the bound address (addr may use port 0).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		s.acceptLoop(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Drain/Close
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			return
+		}
+		s.nextConn++
+		c := &conn{
+			s:       s,
+			id:      s.nextConn,
+			nc:      nc,
+			queries: make(map[uint32]context.CancelFunc),
+			stmts:   make(map[string]stmt),
+		}
+		s.conns[c.id] = c
+		s.mu.Unlock()
+		s.reg.Counter("serve.conn_total").Add(1)
+		s.reg.Gauge("serve.conn_open").Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			c.handle()
+		}()
+	}
+}
+
+// removeConn unregisters a finished connection.
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c.id)
+	s.mu.Unlock()
+	s.reg.Gauge("serve.conn_open").Add(-1)
+}
+
+// Draining reports whether Drain has started.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain gracefully shuts the server down: stop accepting, announce Drain on
+// every connection, refuse new queries (CodeDraining), wait up to
+// DrainTimeout for in-flight queries, then close all connections. Safe to
+// call once; it blocks until every connection handler returned.
+func (s *Server) Drain(reason string) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.drainReason = reason
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	s.reg.Counter("serve.drains").Add(1)
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.write(&wire.Drain{Reason: reason})
+	}
+	// Wait for in-flight queries, bounded.
+	done := make(chan struct{})
+	go func() {
+		for _, c := range conns {
+			c.qwg.Wait()
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.DrainTimeout):
+		s.logf("server: drain timeout after %v, force-closing", s.cfg.DrainTimeout)
+	}
+	s.Close()
+}
+
+// Close shuts down immediately: the listener and every connection are
+// closed, in-flight queries are canceled, and all handlers are awaited.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.shutdown()
+	}
+	s.wg.Wait()
+}
+
+// stmt is one prepared statement.
+type stmt struct {
+	design wire.Design
+	sql    string
+}
+
+// conn is one client connection's server-side state.
+type conn struct {
+	s      *Server
+	id     uint64
+	nc     net.Conn
+	sess   *enrichdb.Session
+	tenant string
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	queries map[uint32]context.CancelFunc
+	stmts   map[string]stmt
+	closed  bool
+
+	qwg sync.WaitGroup // in-flight query goroutines
+}
+
+// write sends one frame under the write lock and deadline. A failed write
+// tears the connection down (the read loop unblocks on the closed socket).
+func (c *conn) write(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf, err := wire.AppendFrame(c.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf[:0]
+	c.nc.SetWriteDeadline(time.Now().Add(c.s.cfg.WriteTimeout))
+	if _, err := c.nc.Write(buf); err != nil {
+		c.s.reg.Counter("serve.write_errors").Add(1)
+		c.nc.Close()
+		return err
+	}
+	c.s.reg.Counter("serve.frames_out").Add(1)
+	return nil
+}
+
+// shutdown force-closes the connection and cancels its queries.
+func (c *conn) shutdown() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	cancels := make([]context.CancelFunc, 0, len(c.queries))
+	for _, cancel := range c.queries {
+		cancels = append(cancels, cancel)
+	}
+	c.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	c.nc.Close()
+}
+
+// handle runs the connection lifecycle; it owns the read side.
+func (c *conn) handle() {
+	defer c.s.removeConn(c)
+	defer c.nc.Close()
+	if !c.handshake() {
+		c.s.reg.Counter("serve.handshake_rejected").Add(1)
+		return
+	}
+	// The session is the connection's admission slot: release it however the
+	// connection ends — clean close, abrupt disconnect, drain, kill.
+	defer c.sess.Close()
+	defer func() {
+		// Disconnect aborts the connection's in-flight queries and waits for
+		// their goroutines, so no query outlives its session.
+		c.shutdown()
+		c.qwg.Wait()
+	}()
+	c.serveLoop()
+}
+
+// handshake performs Hello → (Welcome | Error) under HandshakeTimeout and
+// binds the session. Reports success.
+func (c *conn) handshake() bool {
+	cfg := &c.s.cfg
+	c.nc.SetReadDeadline(time.Now().Add(cfg.HandshakeTimeout))
+	fr, err := wire.ReadFrame(c.nc, cfg.MaxFrame)
+	if err != nil {
+		return false // slowloris, garbage, or disconnect: no reply owed
+	}
+	hello, ok := fr.(*wire.Hello)
+	if !ok {
+		c.write(&wire.Error{Code: wire.CodeBadFrame, Msg: fmt.Sprintf("expected Hello, got %s", fr.Type())})
+		return false
+	}
+	if hello.Proto != wire.ProtoVersion {
+		c.write(&wire.Error{Code: wire.CodeUnsupported, Msg: fmt.Sprintf("protocol %d not supported", hello.Proto)})
+		return false
+	}
+	tenant := ""
+	if cfg.Tokens != nil {
+		t, ok := cfg.Tokens[hello.Token]
+		if !ok {
+			c.write(&wire.Error{Code: wire.CodeAuth, Msg: "unknown token"})
+			return false
+		}
+		tenant = t
+	}
+	if c.s.Draining() {
+		c.write(&wire.Error{Code: wire.CodeDraining, Msg: "server is draining"})
+		return false
+	}
+	sess, err := cfg.DB.SessionFor(tenant)
+	if err != nil {
+		code := wire.CodeInternal
+		if errors.Is(err, enrichdb.ErrSessionTimeout) {
+			code = wire.CodeAdmission
+		}
+		c.write(&wire.Error{Code: code, Msg: err.Error()})
+		return false
+	}
+	c.sess = sess
+	c.tenant = tenant
+	if err := c.write(&wire.Welcome{Proto: wire.ProtoVersion, ConnID: c.id, Tenant: tenant, Version: sess.Version()}); err != nil {
+		return false
+	}
+	return true
+}
+
+// serveLoop reads and dispatches frames until the connection ends.
+func (c *conn) serveLoop() {
+	cfg := &c.s.cfg
+	cr := &countReader{r: c.nc}
+	for {
+		if cfg.IdleTimeout > 0 {
+			c.nc.SetReadDeadline(time.Now().Add(cfg.IdleTimeout))
+		} else {
+			c.nc.SetReadDeadline(time.Time{})
+		}
+		before := cr.n
+		fr, err := wire.ReadFrame(cr, cfg.MaxFrame)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && cr.n == before && c.inFlight() > 0 {
+				// Idle timeout at a frame boundary with queries still
+				// running: the client is waiting on us, not gone. A timeout
+				// mid-frame falls through — the stream is desynchronized.
+				continue
+			}
+			return
+		}
+		c.s.reg.Counter("serve.frames_in").Add(1)
+		switch f := fr.(type) {
+		case *wire.Query:
+			c.startQuery(f.ID, f.Design, f.SQL)
+		case *wire.Prepare:
+			c.prepare(f)
+		case *wire.Execute:
+			c.mu.Lock()
+			st, ok := c.stmts[f.Name]
+			c.mu.Unlock()
+			if !ok {
+				c.write(&wire.Error{Query: f.ID, Code: wire.CodeUnknownStmt, Msg: fmt.Sprintf("statement %q not prepared", f.Name)})
+				continue
+			}
+			c.startQuery(f.ID, st.design, st.sql)
+		case *wire.Cancel:
+			c.cancelQuery(f.Query)
+		case *wire.Kill:
+			c.kill(f)
+		case *wire.Ping:
+			c.write(&wire.Pong{Nonce: f.Nonce})
+		case *wire.Pong:
+			// Liveness reply; nothing to correlate server-side yet.
+		default:
+			// Server-bound protocol violation (e.g. a second Hello or a
+			// result frame): connection-level error, then hang up.
+			c.write(&wire.Error{Code: wire.CodeBadFrame, Msg: fmt.Sprintf("unexpected frame %s", fr.Type())})
+			return
+		}
+	}
+}
+
+func (c *conn) inFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.queries)
+}
+
+// prepare validates and registers a named statement.
+func (c *conn) prepare(f *wire.Prepare) {
+	if f.Name == "" {
+		c.write(&wire.Error{Query: f.ID, Code: wire.CodeBadFrame, Msg: "empty statement name"})
+		return
+	}
+	c.mu.Lock()
+	c.stmts[f.Name] = stmt{design: f.Design, sql: f.SQL}
+	c.mu.Unlock()
+	c.write(&wire.PrepareOK{ID: f.ID, Name: f.Name})
+}
+
+// startQuery admits and launches one query goroutine.
+func (c *conn) startQuery(id uint32, design wire.Design, sql string) {
+	if id == 0 {
+		c.write(&wire.Error{Code: wire.CodeBadFrame, Msg: "query ID 0 is reserved"})
+		return
+	}
+	if c.s.Draining() {
+		c.s.reg.Counter("serve.queries_rejected").Add(1)
+		c.write(&wire.Error{Query: id, Code: wire.CodeDraining, Msg: "server is draining"})
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		cancel()
+		return
+	}
+	if _, dup := c.queries[id]; dup {
+		c.mu.Unlock()
+		cancel()
+		c.write(&wire.Error{Query: id, Code: wire.CodeBadFrame, Msg: "query ID already in flight"})
+		return
+	}
+	c.queries[id] = cancel
+	c.qwg.Add(1)
+	c.mu.Unlock()
+	c.s.reg.Counter("serve.queries_started").Add(1)
+	go func() {
+		defer c.qwg.Done()
+		defer func() {
+			c.mu.Lock()
+			delete(c.queries, id)
+			c.mu.Unlock()
+			cancel()
+		}()
+		c.runQuery(ctx, id, design, sql)
+	}()
+}
+
+// cancelQuery aborts the connection's own in-flight query.
+func (c *conn) cancelQuery(id uint32) {
+	c.mu.Lock()
+	cancel := c.queries[id]
+	c.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// kill aborts queries on another connection of the same tenant.
+func (c *conn) kill(f *wire.Kill) {
+	c.s.mu.Lock()
+	target := c.s.conns[f.TargetConn]
+	c.s.mu.Unlock()
+	if target == nil || target.sess == nil || target.tenant != c.tenant {
+		// Unknown connections and other tenants' connections are
+		// indistinguishable on purpose.
+		c.write(&wire.Killed{ID: f.ID, Count: 0})
+		return
+	}
+	target.mu.Lock()
+	cancels := make([]context.CancelFunc, 0, len(target.queries))
+	if f.TargetQuery != 0 {
+		if cancel := target.queries[f.TargetQuery]; cancel != nil {
+			cancels = append(cancels, cancel)
+		}
+	} else {
+		for _, cancel := range target.queries {
+			cancels = append(cancels, cancel)
+		}
+	}
+	target.mu.Unlock()
+	for _, cancel := range cancels {
+		cancel()
+	}
+	c.s.reg.Counter("serve.kills").Add(int64(len(cancels)))
+	c.write(&wire.Killed{ID: f.ID, Count: uint32(len(cancels))})
+}
+
+// queryError maps an execution error to a wire error frame.
+func (c *conn) queryError(ctx context.Context, id uint32, err error) {
+	code := wire.CodeQuery
+	switch {
+	case ctx.Err() != nil || errors.Is(err, context.Canceled):
+		code = wire.CodeCanceled
+		err = fmt.Errorf("query canceled")
+		c.s.reg.Counter("serve.queries_canceled").Add(1)
+	case errors.Is(err, enrichdb.ErrSessionTimeout):
+		code = wire.CodeAdmission
+	}
+	c.write(&wire.Error{Query: id, Code: code, Msg: err.Error()})
+}
+
+// streamRows sends header + batches for a complete result set, polling ctx
+// between batches so kills interrupt long streams.
+func (c *conn) streamRows(ctx context.Context, id uint32, cols []string, numRows int, at func(int) []enrichdb.Value) error {
+	if err := c.write(&wire.ResultHeader{Query: id, Columns: cols}); err != nil {
+		return err
+	}
+	stride := c.s.cfg.BatchRows
+	for lo := 0; lo < numRows; lo += stride {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		hi := lo + stride
+		if hi > numRows {
+			hi = numRows
+		}
+		chunk := make([][]enrichdb.Value, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			chunk = append(chunk, at(i))
+		}
+		if err := c.write(wire.BatchFromValues(id, chunk)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runQuery executes one query under its cancel context and streams the
+// result.
+func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql string) {
+	start := time.Now()
+	done := wire.ResultDone{Query: id}
+	var cols []string
+	var numRows int
+	var at func(int) []enrichdb.Value
+	var err error
+
+	switch design {
+	case wire.DesignPlain:
+		var rows *enrichdb.Rows
+		rows, err = c.sess.QueryCtx(ctx, sql)
+		if err == nil {
+			cols, numRows, at = rows.Columns(), rows.Len(), rows.At
+		}
+	case wire.DesignLoose:
+		var res *enrichdb.Result
+		res, err = c.sess.QueryLoose(sql)
+		if err == nil {
+			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
+			done.Enrichments = res.Enrichments
+			done.Failed = int64(res.FailedEnrichments)
+		}
+	case wire.DesignTight:
+		var res *enrichdb.Result
+		res, err = c.sess.QueryTight(sql)
+		if err == nil {
+			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
+			done.Enrichments = res.Enrichments
+			done.UDFCalls = res.UDFInvocations
+		}
+	case wire.DesignProgressive:
+		opts := c.s.cfg.Progressive
+		opts.Cancel = ctx.Done()
+		opts.OnEpoch = func(ep enrichdb.Epoch) {
+			c.write(&wire.Epoch{
+				Query: id, N: uint32(ep.N), Planned: uint32(ep.Planned),
+				Enrichments: ep.Enrichments,
+				Inserted:    uint32(ep.Inserted), Deleted: uint32(ep.Deleted),
+				Quality: ep.Quality, WallNs: ep.Wall.Nanoseconds(),
+			})
+		}
+		var res *enrichdb.ProgressiveResult
+		res, err = c.sess.QueryProgressive(sql, opts)
+		if err == nil {
+			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
+			done.Enrichments = res.TotalEnrichments
+			done.Epochs = uint32(len(res.Epochs))
+		}
+	default:
+		err = fmt.Errorf("unknown design %d", design)
+	}
+	if err != nil {
+		c.queryError(ctx, id, err)
+		return
+	}
+	// A canceled query whose execution finished anyway still reports the
+	// cancellation — the client asked for no more frames on this ID.
+	if ctx.Err() != nil {
+		c.queryError(ctx, id, ctx.Err())
+		return
+	}
+	if err := c.streamRows(ctx, id, cols, numRows, at); err != nil {
+		if ctx.Err() != nil {
+			c.queryError(ctx, id, err)
+		}
+		return // write errors already tore the conn down
+	}
+	done.Rows = uint64(numRows)
+	done.WallNs = time.Since(start).Nanoseconds()
+	c.write(&done)
+	c.s.reg.Counter("serve.queries_done").Add(1)
+}
+
+// countReader counts consumed bytes, letting the serve loop distinguish a
+// pure idle timeout (nothing read — safe to keep serving while queries run)
+// from a timeout mid-frame (stream desynchronized — the connection must
+// close).
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}

@@ -1,0 +1,107 @@
+package testutil
+
+import (
+	"bytes"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// CheckGoroutines snapshots the goroutine count and returns a function
+// (defer it) that fails the test if the count has not settled back to the
+// snapshot (plus slack for runtime background goroutines) within 5 seconds.
+// Use it around any test that opens connections, sessions or servers: a
+// leaked read loop, query goroutine or admission waiter shows up here.
+func CheckGoroutines(tb testing.TB) func() {
+	tb.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		tb.Helper()
+		const slack = 2
+		deadline := time.Now().Add(5 * time.Second)
+		var now int
+		for {
+			now = runtime.NumGoroutine()
+			if now <= before+slack {
+				return
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		var buf bytes.Buffer
+		pprof.Lookup("goroutine").WriteTo(&buf, 1)
+		tb.Errorf("goroutine leak: %d before, %d after settle window\n%s", before, now, buf.String())
+	}
+}
+
+// DrainSpec parameterizes DrainBattery.
+type DrainSpec struct {
+	// Workers is the number of concurrent load goroutines (default 4).
+	Workers int
+	// Work performs one unit of load (e.g. one query over one connection).
+	// It is called repeatedly per worker until Drain begins.
+	Work func(worker int) error
+	// Drain begins and completes the server's graceful shutdown; it is
+	// called once, while the workers are still hammering Work.
+	Drain func()
+	// DrainingErr reports whether an error is an acceptable consequence of
+	// the drain (connection refused/reset, a draining rejection). Errors
+	// before Drain starts, or unrecognized ones after, fail the test.
+	DrainingErr func(error) bool
+	// Warmup is how long load runs before Drain fires (default 50ms).
+	Warmup time.Duration
+}
+
+// DrainBattery drives a server through graceful shutdown under load: spin up
+// workers, let them work, drain mid-flight, and require that (a) no work
+// unit failed before the drain began, (b) every failure after it satisfies
+// DrainingErr, and (c) Drain itself returned. Both the enrichment RPC server
+// and the wire serving tier run this same battery, so "graceful" means the
+// same thing across the system.
+func DrainBattery(tb testing.TB, spec DrainSpec) {
+	tb.Helper()
+	if spec.Workers <= 0 {
+		spec.Workers = 4
+	}
+	if spec.Warmup <= 0 {
+		spec.Warmup = 50 * time.Millisecond
+	}
+	var draining atomic.Bool
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				err := spec.Work(w)
+				if err == nil {
+					continue
+				}
+				if !draining.Load() {
+					tb.Errorf("worker %d failed before drain: %v", w, err)
+					return
+				}
+				if spec.DrainingErr != nil && !spec.DrainingErr(err) {
+					tb.Errorf("worker %d: unexpected error during drain: %v", w, err)
+				}
+				return
+			}
+		}(w)
+	}
+	time.Sleep(spec.Warmup)
+	draining.Store(true)
+	spec.Drain()
+	close(stop)
+	wg.Wait()
+}

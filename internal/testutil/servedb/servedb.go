@@ -1,0 +1,79 @@
+// Package servedb builds the deterministic workload database the serving
+// tests and the load generator share. It lives apart from testutil because
+// it imports the root package, which testutil's other consumers (packages
+// the root package itself imports) cannot.
+package servedb
+
+import (
+	"fmt"
+	"math/rand"
+
+	"enrichdb"
+	"enrichdb/internal/ml"
+	"enrichdb/internal/testutil"
+)
+
+// Relation is the workload table.
+const Relation = "events"
+
+// Domain is the derived attribute's class count.
+const Domain = testutil.Domain
+
+// Groups is the value range of the grp column queries filter on.
+const Groups = 4
+
+// New builds the serving-test database: the events relation (id INT,
+// feature VECTOR, grp INT, label INT derived), one registered enrichment
+// over model (testutil.StepModel when nil), and rows seeded rows
+// (deterministic in seed). Admission control is left to the caller.
+func New(rows int, seed int64, model ml.Classifier) (*enrichdb.DB, error) {
+	if model == nil {
+		model = testutil.StepModel()
+	}
+	db := enrichdb.Open()
+	err := db.CreateRelation(Relation, []enrichdb.Column{
+		{Name: "id", Kind: enrichdb.KindInt},
+		{Name: "feature", Kind: enrichdb.KindVector},
+		{Name: "grp", Kind: enrichdb.KindInt},
+		{Name: "label", Kind: enrichdb.KindInt, Derived: true, FeatureCol: "feature", Domain: Domain},
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	err = db.RegisterEnrichment(Relation, "label", enrichdb.Function{
+		Name: "step", Model: model, Quality: 0.9,
+	})
+	if err != nil {
+		db.Close()
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < rows; i++ {
+		_, err := db.Insert(Relation, int64(i+1),
+			enrichdb.Int(int64(i+1)),
+			enrichdb.Vector([]float64{float64(rng.Intn(1 << 20)), float64(rng.Intn(1 << 20))}),
+			enrichdb.Int(int64(rng.Intn(Groups))),
+			enrichdb.Null)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// SampleQuery returns the i-th query of the deterministic serving workload
+// rotation (all label-filtered, so every design exercises enrichment).
+func SampleQuery(i int) string {
+	switch i % 3 {
+	case 0:
+		return fmt.Sprintf("SELECT id, label FROM events WHERE label = %d", i%Domain)
+	case 1:
+		return fmt.Sprintf("SELECT id, grp FROM events WHERE grp = %d AND label = %d",
+			i%Groups, (i/2)%Domain)
+	default:
+		return fmt.Sprintf("SELECT id FROM events WHERE label = %d AND grp = %d",
+			(i/3)%Domain, i%Groups)
+	}
+}

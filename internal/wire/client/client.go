@@ -1,0 +1,496 @@
+// Package client is the enrichdb network client: it dials a wire server,
+// performs the handshake, and multiplexes concurrent queries over one
+// connection. Responses are matched to requests by the client-chosen query
+// ID, so any number of goroutines can share a Client; a dedicated read loop
+// dispatches frames to the waiting calls.
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"enrichdb/internal/types"
+	"enrichdb/internal/wire"
+)
+
+// ErrClosed is returned for calls on a closed client.
+var ErrClosed = errors.New("wire client: connection closed")
+
+// Options configures Dial.
+type Options struct {
+	// Token authenticates the handshake; the server maps it to a tenant.
+	Token string
+	// Client is a free-form client name sent in the handshake (shows up in
+	// server logs); defaults to "enrichdb-client".
+	Client string
+	// DialTimeout bounds the TCP connect plus the handshake round trip
+	// (default 10s).
+	DialTimeout time.Duration
+	// MaxFrame caps accepted frame sizes (default wire.MaxFrameLen).
+	MaxFrame int
+}
+
+// Result is one query's complete answer.
+type Result struct {
+	Columns []string
+	Rows    [][]types.Value
+	// Epochs holds the progressive run's per-epoch reports (progressive
+	// design only).
+	Epochs []wire.Epoch
+	// Stats from the terminal frame.
+	RowCount    uint64
+	Enrichments int64
+	Failed      int64
+	UDFCalls    int64
+	NumEpochs   uint32
+	Wall        time.Duration
+}
+
+// call is one in-flight request awaiting its terminal frame.
+type call struct {
+	id      uint32
+	res     *Result
+	err     error
+	count   uint32 // Killed.Count
+	onEpoch func(wire.Epoch)
+	onBatch func(*wire.ResultBatch)
+	done    chan struct{}
+}
+
+func (cl *call) finish(err error) {
+	cl.err = err
+	close(cl.done)
+}
+
+// Client is a connection to a wire server, safe for concurrent use.
+type Client struct {
+	conn     net.Conn
+	maxFrame int
+
+	connID  uint64
+	tenant  string
+	version uint64
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu       sync.Mutex
+	pending  map[uint32]*call
+	pings    map[uint64]chan struct{}
+	nextID   uint32
+	nextPing uint64
+	sticky   error // transport-level failure, set once
+	closed   bool
+
+	drainOnce   sync.Once
+	drainCh     chan struct{}
+	drainReason string
+
+	readDone chan struct{}
+}
+
+// Dial connects to a wire server and completes the handshake.
+func Dial(addr string, opts Options) (*Client, error) {
+	if opts.DialTimeout <= 0 {
+		opts.DialTimeout = 10 * time.Second
+	}
+	if opts.Client == "" {
+		opts.Client = "enrichdb-client"
+	}
+	conn, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:     conn,
+		maxFrame: opts.MaxFrame,
+		pending:  make(map[uint32]*call),
+		pings:    make(map[uint64]chan struct{}),
+		drainCh:  make(chan struct{}),
+		readDone: make(chan struct{}),
+	}
+	deadline := time.Now().Add(opts.DialTimeout)
+	conn.SetDeadline(deadline)
+	if err := wire.WriteFrame(conn, &wire.Hello{Proto: wire.ProtoVersion, Token: opts.Token, Client: opts.Client}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("wire client: handshake write: %w", err)
+	}
+handshake:
+	for {
+		fr, err := wire.ReadFrame(conn, c.maxFrame)
+		if err != nil {
+			conn.Close()
+			return nil, fmt.Errorf("wire client: handshake read: %w", err)
+		}
+		switch f := fr.(type) {
+		case *wire.Welcome:
+			c.connID, c.tenant, c.version = f.ConnID, f.Tenant, f.Version
+			break handshake
+		case *wire.Error:
+			conn.Close()
+			return nil, f
+		case *wire.Drain:
+			// A server starting to drain broadcasts to every connection,
+			// including one mid-handshake; the definitive answer (Welcome or
+			// a CodeDraining error) is still on its way.
+			c.markDraining(f.Reason)
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("wire client: unexpected handshake frame %s", fr.Type())
+		}
+	}
+	conn.SetDeadline(time.Time{})
+	go c.readLoop()
+	return c, nil
+}
+
+// ConnID returns the server-assigned connection ID.
+func (c *Client) ConnID() uint64 { return c.connID }
+
+// Tenant returns the tenant name the server bound this connection to.
+func (c *Client) Tenant() string { return c.tenant }
+
+// Version returns the server's commit version at handshake time.
+func (c *Client) Version() uint64 { return c.version }
+
+// markDraining records the server's drain announcement (first one wins).
+func (c *Client) markDraining(reason string) {
+	c.drainOnce.Do(func() {
+		c.drainReason = reason
+		close(c.drainCh)
+	})
+}
+
+// Draining returns a channel closed when the server announces shutdown.
+func (c *Client) Draining() <-chan struct{} { return c.drainCh }
+
+// DrainReason returns the server's drain announcement ("" before Draining
+// fires).
+func (c *Client) DrainReason() string {
+	select {
+	case <-c.drainCh:
+		return c.drainReason
+	default:
+		return ""
+	}
+}
+
+// Err returns the sticky transport error, if the connection has failed.
+func (c *Client) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.sticky
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	<-c.readDone
+	return err
+}
+
+// readLoop dispatches incoming frames to their calls until the connection
+// fails or closes.
+func (c *Client) readLoop() {
+	defer close(c.readDone)
+	for {
+		fr, err := wire.ReadFrame(c.conn, c.maxFrame)
+		if err != nil {
+			c.fail(err)
+			return
+		}
+		switch f := fr.(type) {
+		case *wire.ResultHeader:
+			if cl := c.lookup(f.Query); cl != nil {
+				cl.res.Columns = f.Columns
+			}
+		case *wire.ResultBatch:
+			if cl := c.lookup(f.Query); cl != nil {
+				if cl.onBatch != nil {
+					cl.onBatch(f)
+				}
+				rows, err := f.Values()
+				if err == nil {
+					cl.res.Rows = append(cl.res.Rows, rows...)
+				}
+			}
+		case *wire.Epoch:
+			if cl := c.lookup(f.Query); cl != nil {
+				cl.res.Epochs = append(cl.res.Epochs, *f)
+				if cl.onEpoch != nil {
+					cl.onEpoch(*f)
+				}
+			}
+		case *wire.ResultDone:
+			if cl := c.take(f.Query); cl != nil {
+				cl.res.RowCount = f.Rows
+				cl.res.Enrichments = f.Enrichments
+				cl.res.Failed = f.Failed
+				cl.res.UDFCalls = f.UDFCalls
+				cl.res.NumEpochs = f.Epochs
+				cl.res.Wall = time.Duration(f.WallNs)
+				cl.finish(nil)
+			}
+		case *wire.PrepareOK:
+			if cl := c.take(f.ID); cl != nil {
+				cl.finish(nil)
+			}
+		case *wire.Killed:
+			if cl := c.take(f.ID); cl != nil {
+				cl.count = f.Count
+				cl.finish(nil)
+			}
+		case *wire.Error:
+			if f.Query == 0 {
+				// Connection-level error: the server is about to hang up.
+				c.fail(f)
+				return
+			}
+			if cl := c.take(f.Query); cl != nil {
+				cl.finish(f)
+			}
+		case *wire.Pong:
+			c.mu.Lock()
+			if ch := c.pings[f.Nonce]; ch != nil {
+				delete(c.pings, f.Nonce)
+				close(ch)
+			}
+			c.mu.Unlock()
+		case *wire.Ping:
+			c.send(&wire.Pong{Nonce: f.Nonce})
+		case *wire.Drain:
+			c.markDraining(f.Reason)
+		default:
+			// Unexpected but well-formed frame: ignore (forward compatible
+			// within a protocol version).
+		}
+	}
+}
+
+// fail poisons the client: every pending call and ping completes with err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	if c.closed {
+		err = ErrClosed
+	}
+	if c.sticky == nil {
+		c.sticky = err
+	}
+	pend := c.pending
+	c.pending = make(map[uint32]*call)
+	pings := c.pings
+	c.pings = make(map[uint64]chan struct{})
+	c.mu.Unlock()
+	for _, cl := range pend {
+		cl.finish(err)
+	}
+	for _, ch := range pings {
+		close(ch)
+	}
+}
+
+// lookup returns the in-flight call for a query ID (nil if finished).
+func (c *Client) lookup(id uint32) *call {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.pending[id]
+}
+
+// take removes and returns the call — used on terminal frames.
+func (c *Client) take(id uint32) *call {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cl := c.pending[id]
+	delete(c.pending, id)
+	return cl
+}
+
+// register allocates a query ID and parks a call on it.
+func (c *Client) register(onEpoch func(wire.Epoch), onBatch func(*wire.ResultBatch)) (*call, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sticky != nil {
+		return nil, c.sticky
+	}
+	if c.closed {
+		return nil, ErrClosed
+	}
+	c.nextID++
+	if c.nextID == 0 { // ID 0 is reserved for connection-level errors
+		c.nextID = 1
+	}
+	cl := &call{
+		id:      c.nextID,
+		res:     &Result{},
+		onEpoch: onEpoch,
+		onBatch: onBatch,
+		done:    make(chan struct{}),
+	}
+	c.pending[cl.id] = cl
+	return cl, nil
+}
+
+// send encodes and writes one frame, serialized across goroutines.
+func (c *Client) send(f wire.Frame) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	buf, err := wire.AppendFrame(c.wbuf[:0], f)
+	if err != nil {
+		return err
+	}
+	c.wbuf = buf[:0]
+	_, err = c.conn.Write(buf)
+	return err
+}
+
+// cancelGrace bounds how long a canceled call waits for the server's
+// terminal frame before giving up locally.
+const cancelGrace = 5 * time.Second
+
+// wait blocks until the call completes or ctx fires; on ctx it sends Cancel
+// and keeps waiting (bounded) for the server's terminal frame so the
+// connection stays usable.
+func (c *Client) wait(ctx context.Context, cl *call) error {
+	select {
+	case <-cl.done:
+		return cl.err
+	case <-ctx.Done():
+	}
+	c.send(&wire.Cancel{Query: cl.id})
+	t := time.NewTimer(cancelGrace)
+	defer t.Stop()
+	select {
+	case <-cl.done:
+		var we *wire.Error
+		if errors.As(cl.err, &we) && we.Code == wire.CodeCanceled {
+			return ctx.Err()
+		}
+		return cl.err
+	case <-t.C:
+		// The server never acknowledged: abandon the call. A late terminal
+		// frame for this ID is dropped by lookup/take returning nil.
+		if cl2 := c.take(cl.id); cl2 != nil {
+			cl2.finish(ctx.Err())
+		}
+		<-cl.done
+		return ctx.Err()
+	}
+}
+
+// roundTrip registers a call, sends the frame built from its ID, and waits.
+func (c *Client) roundTrip(ctx context.Context, build func(id uint32) wire.Frame,
+	onEpoch func(wire.Epoch), onBatch func(*wire.ResultBatch)) (*call, error) {
+	cl, err := c.register(onEpoch, onBatch)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.send(build(cl.id)); err != nil {
+		if cl2 := c.take(cl.id); cl2 != nil {
+			cl2.finish(err)
+		}
+		<-cl.done
+		if cl.err != nil {
+			return nil, cl.err
+		}
+		// The write failed after the server already answered — rare, but the
+		// call did complete.
+		return cl, nil
+	}
+	if err := c.wait(ctx, cl); err != nil {
+		return nil, err
+	}
+	return cl, nil
+}
+
+// Query runs SQL under the given design and returns the complete result.
+// Canceling ctx sends a Cancel frame; the call returns once the server
+// acknowledges (ctx.Err()) and the connection remains usable.
+func (c *Client) Query(ctx context.Context, design wire.Design, sql string) (*Result, error) {
+	return c.QueryFunc(ctx, design, sql, nil, nil)
+}
+
+// QueryFunc is Query with streaming callbacks: onEpoch fires per progressive
+// epoch report, onBatch per raw result batch, both from the read loop — keep
+// them fast, they gate every other response on the connection.
+func (c *Client) QueryFunc(ctx context.Context, design wire.Design, sql string,
+	onEpoch func(wire.Epoch), onBatch func(*wire.ResultBatch)) (*Result, error) {
+	cl, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
+		return &wire.Query{ID: id, Design: design, SQL: sql}
+	}, onEpoch, onBatch)
+	if err != nil {
+		return nil, err
+	}
+	return cl.res, nil
+}
+
+// Prepare registers a named statement on the server.
+func (c *Client) Prepare(ctx context.Context, name string, design wire.Design, sql string) error {
+	_, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
+		return &wire.Prepare{ID: id, Name: name, Design: design, SQL: sql}
+	}, nil, nil)
+	return err
+}
+
+// Execute runs a previously prepared statement.
+func (c *Client) Execute(ctx context.Context, name string) (*Result, error) {
+	cl, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
+		return &wire.Execute{ID: id, Name: name}
+	}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return cl.res, nil
+}
+
+// Kill cancels in-flight queries on another connection of the same tenant
+// (targetQuery 0 kills all of them); it returns how many were killed.
+func (c *Client) Kill(ctx context.Context, targetConn uint64, targetQuery uint32) (uint32, error) {
+	cl, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
+		return &wire.Kill{ID: id, TargetConn: targetConn, TargetQuery: targetQuery}
+	}, nil, nil)
+	if err != nil {
+		return 0, err
+	}
+	return cl.count, nil
+}
+
+// Ping round-trips a liveness probe.
+func (c *Client) Ping(ctx context.Context) error {
+	c.mu.Lock()
+	if c.sticky != nil {
+		err := c.sticky
+		c.mu.Unlock()
+		return err
+	}
+	c.nextPing++
+	nonce := c.nextPing
+	ch := make(chan struct{})
+	c.pings[nonce] = ch
+	c.mu.Unlock()
+	if err := c.send(&wire.Ping{Nonce: nonce}); err != nil {
+		c.mu.Lock()
+		delete(c.pings, nonce)
+		c.mu.Unlock()
+		return err
+	}
+	select {
+	case <-ch:
+		return c.Err() // nil on a real pong, sticky error if the conn died
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pings, nonce)
+		c.mu.Unlock()
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,181 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"enrichdb/internal/types"
+)
+
+// sampleFrames is one instance of every frame type with non-trivial field
+// values, shared by the round-trip test and the fuzz seed corpus.
+func sampleFrames() []Frame {
+	return []Frame{
+		&Hello{Proto: ProtoVersion, Token: "tok-alpha", Client: "loadgen/1"},
+		&Welcome{Proto: ProtoVersion, ConnID: 42, Tenant: "alpha", Version: 17},
+		&Query{ID: 7, Design: DesignTight, SQL: "SELECT * FROM T WHERE label = 3"},
+		&Prepare{ID: 8, Name: "q1", Design: DesignLoose, SQL: "SELECT id FROM T"},
+		&PrepareOK{ID: 8, Name: "q1"},
+		&Execute{ID: 9, Name: "q1"},
+		&Cancel{Query: 7},
+		&Kill{ID: 10, TargetConn: 42, TargetQuery: 7},
+		&Killed{ID: 10, Count: 1},
+		&ResultHeader{Query: 7, Columns: []string{"id", "grp", "label"}},
+		BatchFromValues(7, [][]types.Value{
+			{types.NewInt(1), types.NewString("a"), types.Null},
+			{types.NewInt(2), types.Null, types.NewFloat(0.5)},
+			{types.Null, types.NewString("c"), types.NewFloat(-0.0)},
+		}),
+		BatchFromValues(7, [][]types.Value{
+			{types.NewBool(true), types.NewVector([]float64{1, 2})},
+			{types.NewBool(false), types.NewInt(3)}, // mixed → generic col
+		}),
+		&ResultBatch{Query: 3, NRows: 0},
+		&ResultDone{Query: 7, Rows: 1000, Enrichments: 12, Failed: 1, UDFCalls: 30, Epochs: 4, WallNs: 5_000_000},
+		&Epoch{Query: 7, N: 2, Planned: 64, Enrichments: 64, Inserted: 5, Deleted: 1, Quality: 0.75, WallNs: 25_000_000},
+		&Error{Query: 7, Code: CodeQuery, Msg: "unknown relation Q"},
+		&Ping{Nonce: 99},
+		&Pong{Nonce: 99},
+		&Drain{Reason: "SIGTERM"},
+	}
+}
+
+// TestFrameRoundTrip: decode(encode(f)) == f for a representative of every
+// frame type, through the full length-prefixed stream path.
+func TestFrameRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	frames := sampleFrames()
+	for _, f := range frames {
+		if err := WriteFrame(&stream, f); err != nil {
+			t.Fatalf("write %s: %v", f.Type(), err)
+		}
+	}
+	for _, want := range frames {
+		got, err := ReadFrame(&stream, 0)
+		if err != nil {
+			t.Fatalf("read %s: %v", want.Type(), err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s round trip:\n got %#v\nwant %#v", want.Type(), got, want)
+		}
+	}
+	if _, err := ReadFrame(&stream, 0); err != io.EOF {
+		t.Errorf("stream end: got %v, want io.EOF", err)
+	}
+}
+
+// TestBatchValuesRoundTrip: row-major → columnar → row-major preserves
+// every value, including NULLs, negative zero, and vectors.
+func TestBatchValuesRoundTrip(t *testing.T) {
+	rows := [][]types.Value{
+		{types.NewInt(-5), types.NewFloat(math.Inf(1)), types.NewString(""), types.NewBool(true), types.NewVector([]float64{1.5})},
+		{types.Null, types.Null, types.Null, types.Null, types.Null},
+		{types.NewInt(1 << 40), types.NewFloat(-0.0), types.NewString("héllo"), types.NewBool(false), types.NewVector(nil)},
+	}
+	b := BatchFromValues(9, rows)
+	got, err := b.Values()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(rows) {
+		t.Fatalf("rows: got %d want %d", len(got), len(rows))
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if !reflect.DeepEqual(got[i][j], rows[i][j]) {
+				t.Errorf("cell (%d,%d): got %#v want %#v", i, j, got[i][j], rows[i][j])
+			}
+		}
+	}
+	// The typed layout must actually engage: column 0 is INT, not generic.
+	if b.Cols[0].Kind != types.KindInt || b.Cols[0].Vals != nil {
+		t.Errorf("column 0 should use the typed INT layout, got kind %v", b.Cols[0].Kind)
+	}
+	// All-NULL column 0 of a single-row batch collapses to a typed layout too.
+	nb := BatchFromValues(1, [][]types.Value{{types.Null}})
+	if nb.Cols[0].Kind != types.KindInt || len(nb.Cols[0].Ints) != 0 {
+		t.Errorf("all-NULL column should be typed with empty payload: %#v", nb.Cols[0])
+	}
+}
+
+// TestDecodeRejectsMalformed: corrupted frames error instead of panicking
+// or desynchronizing.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	// Truncated payloads of every sample frame, at every cut point.
+	for _, f := range sampleFrames() {
+		full, err := AppendFrame(nil, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload := full[5:] // strip length + type
+		for cut := 0; cut < len(payload); cut++ {
+			if _, err := DecodeFrame(f.Type(), payload[:cut]); err == nil {
+				// Some prefixes happen to decode (e.g. trailing empty string
+				// fields are the only truncation-visible part) — but then the
+				// decode must have consumed everything, which DecodeFrame
+				// enforces via the trailing-bytes check, so reaching here
+				// means the prefix was a complete valid payload of a shorter
+				// frame. That is acceptable only if re-encoding matches.
+				g, _ := DecodeFrame(f.Type(), payload[:cut])
+				re, _ := AppendFrame(nil, g)
+				if !bytes.Equal(re[5:], payload[:cut]) {
+					t.Errorf("%s: truncation at %d/%d decoded inconsistently", f.Type(), cut, len(payload))
+				}
+			}
+		}
+	}
+	// Unknown type.
+	if _, err := DecodeFrame(Type(200), nil); err == nil || !strings.Contains(err.Error(), "unknown frame type") {
+		t.Errorf("unknown type: %v", err)
+	}
+	// Oversized frame header.
+	big := []byte{0xFF, 0xFF, 0xFF, 0xFF, byte(TypePing)}
+	if _, err := ReadFrame(bytes.NewReader(big), 0); err == nil {
+		t.Error("oversized frame must be rejected")
+	}
+	// Zero-length frame.
+	if _, err := ReadFrame(bytes.NewReader([]byte{0, 0, 0, 0}), 0); err == nil {
+		t.Error("zero-length frame must be rejected")
+	}
+	// Forged batch row count.
+	forged := appendUvarint(nil, 1)                // query
+	forged = appendUvarint(forged, MaxBatchRows+1) // rows over cap
+	forged = appendUvarint(forged, 0)              // cols
+	if _, err := DecodeFrame(TypeResultBatch, forged); err == nil {
+		t.Error("batch over the row cap must be rejected")
+	}
+	// Forged column count larger than the payload can hold.
+	forged = appendUvarint(nil, 1)
+	forged = appendUvarint(forged, 4)
+	forged = appendUvarint(forged, 1<<40)
+	if _, err := DecodeFrame(TypeResultBatch, forged); err == nil {
+		t.Error("forged column count must be rejected")
+	}
+	// Trailing garbage after a valid frame payload.
+	ping, _ := AppendFrame(nil, &Ping{Nonce: 1})
+	if _, err := DecodeFrame(TypePing, append(ping[5:], 0xAA)); err == nil {
+		t.Error("trailing bytes must be rejected")
+	}
+}
+
+// TestReadFrameShortStream: a frame cut off mid-body surfaces
+// io.ErrUnexpectedEOF, distinguishing a torn connection from a clean close.
+func TestReadFrameShortStream(t *testing.T) {
+	full, err := AppendFrame(nil, &Drain{Reason: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < len(full); cut++ {
+		_, err := ReadFrame(bytes.NewReader(full[:cut]), 0)
+		if err == nil {
+			t.Fatalf("short stream at %d decoded", cut)
+		}
+		if cut >= 4 && err != io.ErrUnexpectedEOF {
+			t.Fatalf("cut %d: got %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}

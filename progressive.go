@@ -57,6 +57,11 @@ type ProgressiveOptions struct {
 	// that appeared and disappeared — the paper's §3.3.4 delta fetching:
 	// consume refinements without re-reading the whole answer.
 	OnDelta func(inserted, deleted *Rows)
+	// Cancel, when non-nil, stops the run at the next epoch boundary once
+	// the channel is closed (wire it to a context's Done channel). The run
+	// returns the answer refined so far — cancellation is not an error, a
+	// canceled progressive query is just a less-refined one.
+	Cancel <-chan struct{}
 }
 
 // Epoch is one epoch's telemetry.
@@ -182,6 +187,7 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		InvokeOverhead: db.TightInvokeOverhead,
 		CollectDeltas:  true, // backs OnDelta and DeltaSince
 		Tracer:         db.tracer,
+		Cancel:         opts.Cancel,
 	}
 	if opts.OnEpoch != nil {
 		cfg.OnEpoch = func(ep progressive.EpochReport) { opts.OnEpoch(wrapEpoch(ep)) }

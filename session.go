@@ -1,54 +1,237 @@
 package enrichdb
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"enrichdb/internal/engine"
 	"enrichdb/internal/loose"
 	"enrichdb/internal/storage"
+	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
 )
 
+// TenantConfig bounds one tenant's share of the serving capacity.
+type TenantConfig struct {
+	// MaxSessions caps the tenant's concurrently open sessions; 0 or negative
+	// means no per-tenant cap (the global MaxSessions still applies).
+	MaxSessions int
+	// Priority orders the admission queue: when a slot frees up, the waiting
+	// session with the highest priority is admitted first (FIFO within a
+	// priority). Unconfigured tenants have priority 0; negatives are allowed.
+	Priority int
+}
+
 // ServingConfig bounds concurrent serving (admission control).
 type ServingConfig struct {
-	// MaxSessions is the maximum number of concurrently open sessions; 0 or
-	// negative means unlimited.
+	// MaxSessions is the maximum number of concurrently open sessions across
+	// all tenants; 0 or negative means unlimited.
 	MaxSessions int
-	// QueueTimeout is how long Session() waits for a slot when MaxSessions
-	// are already open before failing with ErrSessionTimeout. Zero rejects
-	// immediately when the database is at capacity.
+	// QueueTimeout is how long Session() waits for a slot when the database
+	// is at capacity before failing with ErrSessionTimeout. Zero rejects
+	// immediately when at capacity.
 	QueueTimeout time.Duration
+	// Tenants holds per-tenant quotas and priorities, keyed by tenant name.
+	// Tenants not listed here are admitted with no per-tenant cap at
+	// priority 0. An empty map (with MaxSessions > 0) gives every tenant the
+	// same treatment.
+	Tenants map[string]TenantConfig
 }
 
 // ErrSessionTimeout is returned by Session when admission control could not
 // grant a slot within the configured queue timeout.
 var ErrSessionTimeout = fmt.Errorf("enrichdb: session admission timed out")
 
-// admission is the slot gate behind SetServing: a buffered channel holds the
-// free slots; Session() takes one (waiting up to the timeout) and Close
-// returns it. The serve.* gauges/counters publish its state.
-type admission struct {
-	slots   chan struct{}
-	timeout time.Duration
+// tenantGate tracks one tenant's admission state under admission.mu.
+type tenantGate struct {
+	name     string
+	max      int // per-tenant session cap; <=0 unlimited
+	priority int
+	active   int
 }
 
-// SetServing installs admission control for Session. Sessions already open
-// keep their slots from the previous configuration; passing a config with
-// MaxSessions <= 0 removes the limit. Telemetry: serve.sessions_active,
-// serve.sessions_queued (gauges), serve.sessions_admitted,
-// serve.sessions_rejected, serve.queue_wait_ns (counters).
+// waiter is one queued Session call, held in admission.waiters in arrival
+// order. The granting goroutine (a releasing Close) moves the accounting and
+// closes ready under admission.mu; granted disambiguates the race between a
+// grant and the waiter's own timeout.
+type waiter struct {
+	gate    *tenantGate
+	ready   chan struct{}
+	granted bool
+}
+
+// admission is the gate behind SetServing: a priority queue of waiters over
+// a global slot count plus per-tenant quotas. Session() admits immediately
+// when both the global and the tenant budget have room; otherwise it queues
+// up to the timeout. A releasing Close grants the highest-priority waiter
+// whose tenant is under quota (FIFO within a priority) — waiters blocked only
+// by their own tenant's cap never hold up other tenants. The serve.* gauges
+// and counters publish its state.
+type admission struct {
+	timeout time.Duration
+	max     int // global session cap; <=0 unlimited
+
+	mu      sync.Mutex
+	active  int
+	gates   map[string]*tenantGate
+	waiters []*waiter
+}
+
+// SetServing installs admission control for Session and SessionFor. Sessions
+// already open keep their slots from the previous configuration; passing a
+// zero config (no global cap, no tenants) removes the limit. Telemetry:
+// serve.sessions_active, serve.sessions_queued (gauges),
+// serve.sessions_admitted, serve.sessions_rejected, serve.queue_wait_ns
+// (counters), plus per-tenant serve.tenant.<name>.active gauges and
+// .admitted/.rejected counters for named tenants.
 func (db *DB) SetServing(cfg ServingConfig) {
-	if cfg.MaxSessions <= 0 {
+	if cfg.MaxSessions <= 0 && len(cfg.Tenants) == 0 {
 		db.serving.Store(nil)
 		return
 	}
-	a := &admission{slots: make(chan struct{}, cfg.MaxSessions), timeout: cfg.QueueTimeout}
-	for i := 0; i < cfg.MaxSessions; i++ {
-		a.slots <- struct{}{}
+	a := &admission{
+		timeout: cfg.QueueTimeout,
+		max:     cfg.MaxSessions,
+		gates:   make(map[string]*tenantGate, len(cfg.Tenants)),
+	}
+	for name, tc := range cfg.Tenants {
+		a.gates[name] = &tenantGate{name: name, max: tc.MaxSessions, priority: tc.Priority}
 	}
 	db.serving.Store(a)
+}
+
+// gateLocked returns the tenant's gate, creating an uncapped priority-0 gate
+// for tenants absent from the configuration.
+func (a *admission) gateLocked(tenant string) *tenantGate {
+	g := a.gates[tenant]
+	if g == nil {
+		g = &tenantGate{name: tenant}
+		a.gates[tenant] = g
+	}
+	return g
+}
+
+// grantableLocked reports whether a session for g fits both budgets.
+func (a *admission) grantableLocked(g *tenantGate) bool {
+	if a.max > 0 && a.active >= a.max {
+		return false
+	}
+	return g.max <= 0 || g.active < g.max
+}
+
+// grantLocked charges one session to the global and tenant budgets.
+func (a *admission) grantLocked(g *tenantGate) {
+	a.active++
+	g.active++
+}
+
+// grantWaitersLocked hands freed capacity to queued waiters: repeatedly the
+// grantable waiter with the highest priority (earliest arrival within a
+// priority) is admitted, skipping waiters blocked by their own tenant cap.
+func (a *admission) grantWaitersLocked() {
+	for {
+		best := -1
+		for i, w := range a.waiters {
+			if !a.grantableLocked(w.gate) {
+				continue
+			}
+			if best < 0 || w.gate.priority > a.waiters[best].gate.priority {
+				best = i
+			}
+		}
+		if best < 0 {
+			return
+		}
+		w := a.waiters[best]
+		a.waiters = append(a.waiters[:best], a.waiters[best+1:]...)
+		w.granted = true
+		a.grantLocked(w.gate)
+		close(w.ready)
+	}
+}
+
+func (a *admission) removeWaiterLocked(w *waiter) {
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+func admitCounters(reg *telemetry.Registry, g *tenantGate) {
+	reg.Counter("serve.sessions_admitted").Add(1)
+	if g.name != "" {
+		reg.Counter("serve.tenant." + g.name + ".admitted").Add(1)
+	}
+}
+
+func rejectCounters(reg *telemetry.Registry, g *tenantGate) {
+	reg.Counter("serve.sessions_rejected").Add(1)
+	if g.name != "" {
+		reg.Counter("serve.tenant." + g.name + ".rejected").Add(1)
+	}
+}
+
+// acquire admits one session for tenant, queueing up to the timeout. On
+// success it returns the charged gate; release undoes the charge.
+func (a *admission) acquire(reg *telemetry.Registry, tenant string) (*tenantGate, error) {
+	a.mu.Lock()
+	g := a.gateLocked(tenant)
+	if a.grantableLocked(g) {
+		a.grantLocked(g)
+		a.mu.Unlock()
+		admitCounters(reg, g)
+		return g, nil
+	}
+	if a.timeout <= 0 {
+		a.mu.Unlock()
+		rejectCounters(reg, g)
+		return nil, ErrSessionTimeout
+	}
+	w := &waiter{gate: g, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	reg.Gauge("serve.sessions_queued").Add(1)
+	defer reg.Gauge("serve.sessions_queued").Add(-1)
+	waitStart := time.Now()
+	t := time.NewTimer(a.timeout)
+	defer t.Stop()
+	select {
+	case <-w.ready:
+		reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
+		admitCounters(reg, g)
+		return g, nil
+	case <-t.C:
+	}
+	// The timer fired, but a grant may have raced it: granted is settled
+	// under the lock, and a granted waiter keeps its slot (the grantor
+	// already charged the budgets).
+	a.mu.Lock()
+	if w.granted {
+		a.mu.Unlock()
+		reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
+		admitCounters(reg, g)
+		return g, nil
+	}
+	a.removeWaiterLocked(w)
+	a.mu.Unlock()
+	rejectCounters(reg, g)
+	return nil, ErrSessionTimeout
+}
+
+// release returns one session's capacity and wakes eligible waiters.
+func (a *admission) release(g *tenantGate) {
+	a.mu.Lock()
+	a.active--
+	g.active--
+	a.grantWaitersLocked()
+	a.mu.Unlock()
 }
 
 // Version returns the commit version: the number of committed writes
@@ -76,44 +259,30 @@ type Session struct {
 	db      *DB
 	snap    *storage.Snapshot
 	version uint64
-	slot    *admission // nil when admission control is off
+	tenant  string
+	adm     *admission  // nil when admission control is off
+	gate    *tenantGate // charged tenant budget, released by Close
 	closed  atomic.Bool
 }
 
-// Session opens a snapshot-isolated session at the current commit version,
-// subject to admission control when SetServing configured a session limit
-// (queueing up to the configured timeout for a free slot).
-func (db *DB) Session() (*Session, error) {
+// Session opens a snapshot-isolated session at the current commit version
+// for the default (unnamed) tenant, subject to admission control when
+// SetServing configured a session limit (queueing up to the configured
+// timeout for a free slot).
+func (db *DB) Session() (*Session, error) { return db.SessionFor("") }
+
+// SessionFor opens a snapshot-isolated session on behalf of the named
+// tenant. The tenant's quota and queue priority from ServingConfig.Tenants
+// apply; tenants absent from the configuration are admitted uncapped at
+// priority 0 (the global MaxSessions still applies).
+func (db *DB) SessionFor(tenant string) (*Session, error) {
 	reg := db.Telemetry()
 	adm := db.serving.Load()
+	var gate *tenantGate
 	if adm != nil {
-		select {
-		case <-adm.slots:
-			reg.Counter("serve.sessions_admitted").Add(1)
-		default:
-			// Full: queue with timeout.
-			reg.Gauge("serve.sessions_queued").Add(1)
-			waitStart := time.Now()
-			var timeout <-chan time.Time
-			if adm.timeout > 0 {
-				t := time.NewTimer(adm.timeout)
-				defer t.Stop()
-				timeout = t.C
-			} else {
-				closed := make(chan time.Time)
-				close(closed)
-				timeout = closed
-			}
-			select {
-			case <-adm.slots:
-				reg.Gauge("serve.sessions_queued").Add(-1)
-				reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
-				reg.Counter("serve.sessions_admitted").Add(1)
-			case <-timeout:
-				reg.Gauge("serve.sessions_queued").Add(-1)
-				reg.Counter("serve.sessions_rejected").Add(1)
-				return nil, ErrSessionTimeout
-			}
+		var err error
+		if gate, err = adm.acquire(reg, tenant); err != nil {
+			return nil, err
 		}
 	}
 	// Freeze the snapshot under the commit lock so the view is atomic across
@@ -122,8 +291,11 @@ func (db *DB) Session() (*Session, error) {
 	version := db.version.Load()
 	snap := db.store.Snapshot()
 	db.commitMu.Unlock()
-	db.Telemetry().Gauge("serve.sessions_active").Add(1)
-	return &Session{db: db, snap: snap, version: version, slot: adm}, nil
+	reg.Gauge("serve.sessions_active").Add(1)
+	if tenant != "" {
+		reg.Gauge("serve.tenant." + tenant + ".active").Add(1)
+	}
+	return &Session{db: db, snap: snap, version: version, tenant: tenant, adm: adm, gate: gate}, nil
 }
 
 // Close releases the session's admission slot. Closing twice is a no-op.
@@ -131,9 +303,13 @@ func (s *Session) Close() error {
 	if !s.closed.CompareAndSwap(false, true) {
 		return nil
 	}
-	s.db.Telemetry().Gauge("serve.sessions_active").Add(-1)
-	if s.slot != nil {
-		s.slot.slots <- struct{}{}
+	reg := s.db.Telemetry()
+	reg.Gauge("serve.sessions_active").Add(-1)
+	if s.tenant != "" {
+		reg.Gauge("serve.tenant." + s.tenant + ".active").Add(-1)
+	}
+	if s.adm != nil {
+		s.adm.release(s.gate)
 	}
 	return nil
 }
@@ -141,9 +317,20 @@ func (s *Session) Close() error {
 // Version returns the commit version the session's snapshot was taken at.
 func (s *Session) Version() uint64 { return s.version }
 
+// Tenant returns the tenant name the session was opened for ("" for the
+// default tenant).
+func (s *Session) Tenant() string { return s.tenant }
+
 // Query executes a query against the snapshot without any enrichment:
 // derived attributes read as frozen in the snapshot.
 func (s *Session) Query(query string) (*Rows, error) {
+	return s.QueryCtx(context.Background(), query)
+}
+
+// QueryCtx is Query with cancellation: the executor polls ctx's Done channel
+// between batches of work and aborts with ctx.Err() once it fires, so a long
+// scan, filter or join can be killed mid-flight.
+func (s *Session) QueryCtx(ctx context.Context, query string) (*Rows, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("enrichdb: session is closed")
 	}
@@ -155,8 +342,13 @@ func (s *Session) Query(query string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := plan.Execute(engine.NewExecCtx())
+	ec := engine.NewExecCtx()
+	ec.Done = ctx.Done()
+	rows, err := plan.Execute(ec)
 	if err != nil {
+		if errors.Is(err, engine.ErrCanceled) && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
 		return nil, err
 	}
 	return wrapRows(plan.Schema(), rows), nil
