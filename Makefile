@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke serve-race fuzz tidy staticcheck trace-demo
+.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke serve-race fuzz tidy staticcheck trace-demo trace-e2e
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
-check: vet staticcheck build test race serve-race bench-smoke bench-serve
+check: vet staticcheck build test race serve-race trace-e2e bench-smoke bench-serve
 
 vet:
 	$(GO) vet ./...
@@ -172,3 +172,10 @@ staticcheck:
 trace-demo:
 	$(GO) run ./examples/quickstart -trace /tmp/enrichdb-trace.jsonl
 	$(GO) run ./cmd/tracefmt /tmp/enrichdb-trace.jsonl
+
+# End-to-end trace gate: one sampled served query must produce a single
+# JSONL trace whose span chain covers handshake → admission → plan →
+# per-epoch enrich/determinize/refresh → result-stream, all under one trace
+# ID, with the span summaries echoed back to the client in a Profile frame.
+trace-e2e:
+	$(GO) test -count=1 -run 'TestTraceE2E|TestExplainAnalyzeOverWire' ./internal/server

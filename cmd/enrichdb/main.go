@@ -31,12 +31,23 @@
 //
 //	enrichdb -listen :7070 [-rows N] [-seed S] [-max-sessions K]
 //	         [-session-timeout D] [-tokens tok=tenant,...]
+//	         [-trace file] [-sample N] [-slowlog file] [-slow-threshold D]
+//	         [-http :8080]
 //
 // -listen serves the deterministic workload database over the binary wire
 // protocol (internal/wire): clients handshake with a tenant token, run
 // queries under any design, and stream columnar result batches. SIGTERM or
 // SIGINT drains gracefully — in-flight queries finish, connected clients
 // get a Drain notice — then the telemetry snapshot prints.
+//
+// Observability in network mode: -trace writes every sampled query's span
+// chain (handshake through result stream) as JSONL; -sample N samples every
+// Nth query per connection on top of client-requested sampling; -slowlog
+// plus -slow-threshold appends a JSON record (with the operator profile)
+// for every query slower than the threshold; -http serves /metrics (with
+// p50/p95/p99 quantile lines) and /statusz (live sessions, in-flight
+// queries, per-tenant admission state). `EXPLAIN ANALYZE <query>` works
+// both in the REPL and over the wire.
 package main
 
 import (
@@ -50,8 +61,10 @@ import (
 
 	"enrichdb/internal/bench"
 	"enrichdb/internal/dataset"
+	"enrichdb/internal/engine"
 	"enrichdb/internal/expr"
 	"enrichdb/internal/harness"
+	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/telemetry"
 )
 
@@ -66,6 +79,10 @@ func main() {
 	listen := flag.String("listen", "", "serve the wire protocol on this address (e.g. :7070) instead of the REPL")
 	rows := flag.Int("rows", 2000, "listen mode: workload rows to seed")
 	tokens := flag.String("tokens", "", "listen mode: comma-separated token=tenant auth pairs (empty = any token)")
+	sample := flag.Int("sample", 0, "listen mode: trace every Nth query per connection (0 = only client-requested)")
+	slowLog := flag.String("slowlog", "", "listen mode: append slow-query JSON records to this file")
+	slowThreshold := flag.Duration("slow-threshold", 100*time.Millisecond, "listen mode: slow-query threshold for -slowlog")
+	httpAddr := flag.String("http", "", "listen mode: serve /metrics and /statusz on this address")
 	writers := flag.Int("writers", 4, "serving mode: concurrent writers")
 	serveSessions := flag.Int("serve-sessions", 4, "serving mode: concurrent query sessions")
 	maxSessions := flag.Int("max-sessions", 3, "serving mode: admission limit (0 = unlimited)")
@@ -75,7 +92,14 @@ func main() {
 	flag.Parse()
 
 	if *listen != "" {
-		if err := runListen(*listen, *rows, *seed, *maxSessions, *sessionTimeout, *tokens); err != nil {
+		err := runListen(*listen, listenOpts{
+			rows: *rows, seed: *seed, maxSessions: *maxSessions,
+			timeout: *sessionTimeout, tokens: *tokens,
+			traceFile: *traceFile, sample: *sample,
+			slowLog: *slowLog, slowThreshold: *slowThreshold,
+			httpAddr: *httpAddr,
+		})
+		if err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -173,7 +197,8 @@ func (r *runner) command(line string) (quit bool) {
 	case line == ".quit" || line == ".exit":
 		return true
 	case line == ".help":
-		fmt.Println("enter a SELECT query, or: .design loose|tight|plain, .explain <query>, .paper, .stats, .metrics, .quit")
+		fmt.Println("enter a SELECT query (prefix with EXPLAIN ANALYZE for an operator profile),")
+		fmt.Println("or: .design loose|tight|plain, .explain <query>, .paper, .stats, .metrics, .quit")
 	case line == ".paper":
 		// Run the paper's nine query templates under the current design.
 		scale := bench.Small()
@@ -217,25 +242,37 @@ func (r *runner) command(line string) (quit bool) {
 }
 
 func (r *runner) exec(q string) error {
+	// EXPLAIN ANALYZE runs the inner SELECT with an operator profiler and
+	// prints the profile tree instead of the rows.
+	var prof *engine.Profiler
+	if st, err := sqlparser.ParseStatement(q); err == nil && st.ExplainAnalyze {
+		prof = engine.NewProfiler()
+		q = st.Select.String()
+	}
+
 	start := time.Now()
 	var rows []*expr.Row
 	var enrichments int64
 	switch r.design {
 	case "loose":
-		res, err := r.env.LooseDriver().Execute(q)
+		d := r.env.LooseDriver()
+		d.Prof = prof
+		res, err := d.Execute(q)
 		if err != nil {
 			return err
 		}
 		rows, enrichments = res.Rows, res.Enrichments
 	case "tight":
-		res, err := r.env.TightDriver().Execute(q)
+		d := r.env.TightDriver()
+		d.Prof = prof
+		res, err := d.Execute(q)
 		if err != nil {
 			return err
 		}
 		rows, enrichments = res.Rows, res.Enrichments
 	case "plain":
 		var err error
-		rows, err = r.env.ExecutePlain(q)
+		rows, err = r.execPlain(q, prof)
 		if err != nil {
 			return err
 		}
@@ -243,6 +280,15 @@ func (r *runner) exec(q string) error {
 		return fmt.Errorf("unknown design %q", r.design)
 	}
 	elapsed := time.Since(start)
+
+	if prof != nil {
+		for _, root := range prof.Roots() {
+			fmt.Print(engine.FormatProfile(root))
+		}
+		fmt.Printf("-- %d rows, %d enrichments, %v (%s design)\n",
+			len(rows), enrichments, elapsed.Round(time.Millisecond), r.design)
+		return nil
+	}
 
 	limit := 20
 	for i, row := range rows {
@@ -262,4 +308,23 @@ func (r *runner) exec(q string) error {
 	fmt.Printf("-- %d rows, %d enrichments, %v (%s design)\n",
 		len(rows), enrichments, elapsed.Round(time.Millisecond), r.design)
 	return nil
+}
+
+// execPlain is Env.ExecutePlain with an optional profiler attached.
+func (r *runner) execPlain(query string, prof *engine.Profiler) ([]*expr.Row, error) {
+	stmt, err := sqlparser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	a, err := engine.Analyze(stmt, r.env.Data.DB.Catalog())
+	if err != nil {
+		return nil, err
+	}
+	plan, err := engine.Build(a, r.env.Data.DB)
+	if err != nil {
+		return nil, err
+	}
+	ctx := engine.NewExecCtx()
+	ctx.Prof = prof
+	return plan.Execute(ctx)
 }

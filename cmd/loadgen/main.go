@@ -8,6 +8,7 @@
 //
 //	loadgen [-conns 1000] [-duration 5s] [-rows 512] [-tenants 4]
 //	        [-design loose|tight|plain|mix] [-addr host:port] [-seed 1]
+//	        [-sample 8]
 //
 // Results print as `go test -bench`-shaped lines (pipe through
 // cmd/benchjson to persist them in BENCH_serve.json):
@@ -16,6 +17,13 @@
 //	BenchmarkServeP95    8123   1904000 ns/op
 //	BenchmarkServeP99    8123   3112000 ns/op
 //	BenchmarkServeMean   8123    533000 ns/op
+//
+// Per-tenant SLO lines follow: client-measured percentiles under
+// BenchmarkServeTenant*, and — for the 1-in-N queries sent with the wire
+// trace sampling flag (-sample) — the server-reported wall from queries
+// whose Profile frame round-tripped, under BenchmarkServeServer*. Client
+// and server views side by side separate queueing/network time from
+// server-side execution time per tenant.
 package main
 
 import (
@@ -44,9 +52,10 @@ func main() {
 	designFlag := flag.String("design", "mix", "query design: loose, tight, plain or mix")
 	addr := flag.String("addr", "", "target server (empty = start one in-process)")
 	seed := flag.Int64("seed", 1, "workload seed")
+	sample := flag.Int("sample", 8, "send every Nth query with the trace sampling flag (0 = never)")
 	flag.Parse()
 
-	if err := run(*conns, *duration, *rows, *tenants, *designFlag, *addr, *seed); err != nil {
+	if err := run(*conns, *duration, *rows, *tenants, *designFlag, *addr, *seed, *sample); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -66,7 +75,7 @@ func pickDesign(name string, i int) (wire.Design, error) {
 	}
 }
 
-func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr string, seed int64) error {
+func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr string, seed int64, sample int) error {
 	if tenants < 1 {
 		tenants = 1
 	}
@@ -131,8 +140,10 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 	fmt.Fprintf(os.Stderr, "loadgen: %d connections up across %d tenants\n", conns, tenants)
 
 	type shard struct {
-		lat  []time.Duration
-		errs int
+		lat      []time.Duration // client-measured wall per query
+		srvLat   []time.Duration // server-reported wall on sampled queries
+		profiles int             // Profile frames received
+		errs     int
 	}
 	shards := make([]shard, conns)
 	ctx, cancel := context.WithTimeout(context.Background(), duration)
@@ -155,8 +166,15 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 					sh.errs++
 					return
 				}
+				sampled := sample > 0 && q%sample == 0
 				t0 := time.Now()
-				_, err = c.Query(ctx, design, servedb.SampleQuery(i+q))
+				var res *client.Result
+				if sampled {
+					res, err = c.QueryTrace(ctx, design, servedb.SampleQuery(i+q),
+						wire.TraceContext{Sampled: true}, nil, nil)
+				} else {
+					res, err = c.Query(ctx, design, servedb.SampleQuery(i+q))
+				}
 				if err != nil {
 					if ctx.Err() == nil {
 						sh.errs++
@@ -164,6 +182,12 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 					return
 				}
 				sh.lat = append(sh.lat, time.Since(t0))
+				if sampled && res.Profile != nil {
+					// The Profile frame confirms the server sampled this
+					// query; res.Wall is its server-measured execution time.
+					sh.profiles++
+					sh.srvLat = append(sh.srvLat, res.Wall)
+				}
 			}
 		}(i, c)
 	}
@@ -171,19 +195,25 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 	elapsed := time.Since(start)
 
 	var all []time.Duration
-	errs := 0
+	tenantLat := make([][]time.Duration, tenants)
+	tenantSrv := make([][]time.Duration, tenants)
+	errs, profiles := 0, 0
 	for i := range shards {
+		t := i % tenants
 		all = append(all, shards[i].lat...)
+		tenantLat[t] = append(tenantLat[t], shards[i].lat...)
+		tenantSrv[t] = append(tenantSrv[t], shards[i].srvLat...)
+		profiles += shards[i].profiles
 		errs += shards[i].errs
 	}
 	if len(all) == 0 {
 		return fmt.Errorf("loadgen: no queries completed (%d errors)", errs)
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) time.Duration {
-		idx := int(p * float64(len(all)-1))
-		return all[idx]
+	pctOf := func(sorted []time.Duration, p float64) time.Duration {
+		return sorted[int(p*float64(len(sorted)-1))]
 	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) time.Duration { return pctOf(all, p) }
 	var sum time.Duration
 	for _, d := range all {
 		sum += d
@@ -191,8 +221,8 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 	qps := float64(len(all)) / elapsed.Seconds()
 
 	fmt.Fprintf(os.Stderr,
-		"loadgen: %d queries over %d conns in %v — %.0f qps, %d errors\np50 %v  p95 %v  p99 %v  mean %v  max %v\n",
-		len(all), conns, elapsed.Round(time.Millisecond), qps, errs,
+		"loadgen: %d queries over %d conns in %v — %.0f qps, %d errors, %d sampled profiles\np50 %v  p95 %v  p99 %v  mean %v  max %v\n",
+		len(all), conns, elapsed.Round(time.Millisecond), qps, errs, profiles,
 		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
 		pct(0.99).Round(time.Microsecond), (sum / time.Duration(len(all))).Round(time.Microsecond),
 		all[len(all)-1].Round(time.Microsecond))
@@ -206,6 +236,35 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 	fmt.Printf("BenchmarkServeMean \t%d\t%d ns/op\n", n, (sum / time.Duration(n)).Nanoseconds())
 	// Mean inter-completion gap: 1e9/qps — throughput in ns/op clothing.
 	fmt.Printf("BenchmarkServeThroughput \t%d\t%d ns/op\n", n, int64(float64(elapsed.Nanoseconds())/float64(n)))
+
+	// Per-tenant SLO view: client-measured latency (includes admission
+	// queueing and the network) next to the server-reported execution wall
+	// from the sampled queries' Profile frames.
+	for t := 0; t < tenants; t++ {
+		// No "-<digits>" suffix: benchjson would strip it as a GOMAXPROCS
+		// suffix and collapse every tenant into one key.
+		name := fmt.Sprintf("tenant%d", t)
+		if lat := tenantLat[t]; len(lat) > 0 {
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			for _, p := range []struct {
+				tag string
+				q   float64
+			}{{"P50", 0.50}, {"P95", 0.95}, {"P99", 0.99}} {
+				fmt.Printf("BenchmarkServeTenant%s/%s \t%d\t%d ns/op\n",
+					p.tag, name, len(lat), pctOf(lat, p.q).Nanoseconds())
+			}
+		}
+		if srv := tenantSrv[t]; len(srv) > 0 {
+			sort.Slice(srv, func(i, j int) bool { return srv[i] < srv[j] })
+			for _, p := range []struct {
+				tag string
+				q   float64
+			}{{"P50", 0.50}, {"P95", 0.95}, {"P99", 0.99}} {
+				fmt.Printf("BenchmarkServeServer%s/%s \t%d\t%d ns/op\n",
+					p.tag, name, len(srv), pctOf(srv, p.q).Nanoseconds())
+			}
+		}
+	}
 
 	if errs > 0 {
 		return fmt.Errorf("loadgen: %d queries failed", errs)

@@ -1,13 +1,17 @@
 // Command tracefmt pretty-prints a JSONL span trace produced by the -trace
 // flag of cmd/enrichdb, cmd/benchrunner or the examples: spans are grouped
-// by epoch, worker-tagged, and annotated with their attributes.
+// by epoch, worker-tagged, and annotated with their attributes. Unknown
+// JSON keys (future span fields) are ignored, so old tracefmt binaries
+// read new traces.
 //
 // Usage:
 //
-//	tracefmt trace.jsonl        # or: tracefmt < trace.jsonl
+//	tracefmt trace.jsonl              # or: tracefmt < trace.jsonl
+//	tracefmt -query 1a2b3c... trace.jsonl   # one query's spans as a tree
 package main
 
 import (
+	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -17,20 +21,29 @@ import (
 )
 
 func main() {
+	query := flag.String("query", "", "print only spans with this trace ID (hex), as an indented start-ordered tree")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: tracefmt [-query <traceid>] [trace.jsonl]")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
 	var in io.Reader = os.Stdin
-	if len(os.Args) > 1 {
-		if os.Args[1] == "-h" || os.Args[1] == "--help" {
-			fmt.Fprintln(os.Stderr, "usage: tracefmt [trace.jsonl]")
-			os.Exit(2)
-		}
-		f, err := os.Open(os.Args[1])
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer f.Close()
 		in = f
 	}
-	if err := telemetry.FormatSpans(in, os.Stdout); err != nil {
+	var err error
+	if *query != "" {
+		err = telemetry.FormatQueryTrace(in, os.Stdout, *query)
+	} else {
+		err = telemetry.FormatSpans(in, os.Stdout)
+	}
+	if err != nil {
 		log.Fatal(err)
 	}
 }

@@ -27,7 +27,7 @@ var kernelSizes = []int{10_000, 100_000, 1_000_000}
 
 // kernelTable builds a table of n rows: (id INT, k INT, a INT) with k uniform
 // over n/10 distinct values and a uniform over [0,100).
-func kernelTable(b *testing.B, name string, n int) *storage.Table {
+func kernelTable(b testing.TB, name string, n int) *storage.Table {
 	b.Helper()
 	schema := catalog.MustSchema(name, []catalog.Column{
 		{Name: "id", Kind: types.KindInt},

@@ -1,0 +1,57 @@
+package bench
+
+// Observability-off benchmark guard. The profiling machinery added for
+// EXPLAIN ANALYZE must be zero-alloc-and-off by default: a BenchmarkVectorFilterExec
+// iteration with ExecCtx.Prof nil may not allocate more than the same
+// iteration did before the instrumentation existed. The exact-equality half
+// of that contract (wrapped Execute == raw execute) lives in
+// internal/engine's TestProfilerOffZeroAlloc; this guard pins the bench
+// shape itself — deterministic allocs with profiling off, and a strictly
+// higher count with a profiler attached (proving the instrumentation is
+// live yet fully excluded from the disabled path).
+
+import (
+	"testing"
+
+	"enrichdb/internal/engine"
+	"enrichdb/internal/expr"
+	"enrichdb/internal/types"
+)
+
+func TestObservabilityOffAllocGuard(t *testing.T) {
+	const n = 10_000
+	tbl := kernelTable(t, "R", n)
+	pred := expr.NewCmp(expr.LT, expr.NewCol("R", "a"), expr.NewConst(types.NewInt(50)))
+	scan := engine.NewScan(tbl, "R")
+	if err := pred.Resolve(scan.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	plan := engine.NewFilter(scan, pred)
+
+	run := func(profiled bool) float64 {
+		return testing.AllocsPerRun(10, func() {
+			ctx := engine.NewExecCtx()
+			if profiled {
+				ctx.Prof = engine.NewProfiler()
+			}
+			rows, err := plan.Execute(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rows) != n/2 {
+				t.Fatalf("filter kept %d rows, want %d", len(rows), n/2)
+			}
+		})
+	}
+
+	off1 := run(false)
+	off2 := run(false)
+	on := run(true)
+	t.Logf("allocs/op: off=%v on=%v", off1, on)
+	if off1 != off2 {
+		t.Fatalf("disabled-profile allocs not deterministic: %v vs %v", off1, off2)
+	}
+	if on <= off1 {
+		t.Fatalf("profiled run allocated %v/op, disabled %v/op — instrumentation appears dead", on, off1)
+	}
+}

@@ -37,6 +37,20 @@ func (s *IndexScan) Schema() *expr.RowSchema { return s.rs }
 // hold instead of a lookup plus per-id Gets) and materializes them through
 // the arena.
 func (s *IndexScan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return s.execute(ctx)
+	}
+	n := ctx.profEnter("IndexScan",
+		fmt.Sprintf("%s AS %s on %s = %s", s.Table.Schema().Name, s.Alias, s.Col, s.Val))
+	out, err := s.execute(ctx)
+	if n.RowsIn == 0 {
+		n.RowsIn = int64(len(out))
+	}
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (s *IndexScan) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	tuples, ok := s.Table.IndexTuples(s.Col, s.Val)
 	if !ok {
 		return nil, fmt.Errorf("engine: index on %s.%s disappeared", s.Table.Schema().Name, s.Col)

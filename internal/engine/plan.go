@@ -91,6 +91,10 @@ type ExecCtx struct {
 	// to a context's Done channel to make long scans, filters and joins
 	// killable mid-flight.
 	Done <-chan struct{}
+	// Prof, when non-nil, records a per-operator OpProfile tree (EXPLAIN
+	// ANALYZE). Nil — the default — keeps every Execute wrapper on a single
+	// nil-check branch with zero allocations.
+	Prof *Profiler
 	// vec holds the context's reusable vectorized-scan buffers (snapshot,
 	// batch, bitmaps); lazily built, never shared across goroutines.
 	vec *vecBufs
@@ -171,7 +175,14 @@ func (s *Scan) Schema() *expr.RowSchema { return s.rs }
 // Execute materializes the table: one snapshot of the slab under the read
 // lock, then lock-free arena-backed row wrapping.
 func (s *Scan) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
-	return s.materialize(ctx, s.Table.Tuples()), nil
+	if ctx.Prof == nil {
+		return s.materialize(ctx, s.Table.Tuples()), nil
+	}
+	n := ctx.profEnter("Scan", s.Table.Schema().Name+" AS "+s.Alias)
+	out := s.materialize(ctx, s.Table.Tuples())
+	n.RowsIn = int64(len(out))
+	ctx.profExit(n, len(out), nil)
+	return out, nil
 }
 
 // materialize wraps a tuple snapshot (or a partition of one) as executor
@@ -245,6 +256,16 @@ func ownsResult(p Plan) bool {
 // child owns its result, via a partitioned parallel scan when the child is a
 // bare table scan and a worker pool is attached.
 func (f *Filter) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return f.execute(ctx)
+	}
+	n := ctx.profEnter("Filter", fmt.Sprint(f.Pred))
+	out, err := f.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (f *Filter) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	if s, ok := f.Child.(*Scan); ok {
 		if out, handled, err := f.vecExecute(ctx, s); handled {
 			return out, err
@@ -376,6 +397,20 @@ func (j *Join) Hash() bool { return len(j.HashKeysL) > 0 }
 
 // Execute runs the join.
 func (j *Join) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return j.execute(ctx)
+	}
+	name := "NestedLoopJoin"
+	if j.Hash() {
+		name = "HashJoin"
+	}
+	n := ctx.profEnter(name, fmt.Sprintf("on %s", j.Cond))
+	out, err := j.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (j *Join) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	left, err := j.L.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -630,6 +665,20 @@ func (a *Aggregate) Schema() *expr.RowSchema { return a.rs }
 
 // Execute runs hash aggregation.
 func (a *Aggregate) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return a.execute(ctx)
+	}
+	names := make([]string, len(a.Aggs))
+	for i, s := range a.Aggs {
+		names[i] = s.Name
+	}
+	n := ctx.profEnter("Aggregate", fmt.Sprintf("group=%v aggs=%s", a.GroupBy, strings.Join(names, ",")))
+	out, err := a.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (a *Aggregate) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	in, err := a.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -770,6 +819,16 @@ func (p *Project) Schema() *expr.RowSchema { return p.rs }
 // Execute projects the child's rows. TIDs are preserved so downstream
 // consumers can still identify base tuples.
 func (p *Project) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return p.execute(ctx)
+	}
+	n := ctx.profEnter("Project", fmt.Sprint(p.Cols))
+	out, err := p.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (p *Project) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	if out, handled, err := p.vecExecute(ctx); handled {
 		return out, err
 	}

@@ -26,6 +26,11 @@ func (r *Rows) Schema() *expr.RowSchema { return r.rs }
 // Execute returns the materialized rows.
 func (r *Rows) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	ctx.Stats.RowsScanned += int64(len(r.Data))
+	if ctx.Prof != nil {
+		n := ctx.profEnter("Rows", "")
+		n.RowsIn = int64(len(r.Data))
+		ctx.profExit(n, len(r.Data), nil)
+	}
 	return r.Data, nil
 }
 

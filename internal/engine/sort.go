@@ -26,6 +26,16 @@ func (s *Sort) Schema() *expr.RowSchema { return s.Child.Schema() }
 
 // Execute sorts the child's rows.
 func (s *Sort) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return s.execute(ctx)
+	}
+	n := ctx.profEnter("Sort", fmt.Sprint(s.Keys))
+	out, err := s.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (s *Sort) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	in, err := s.Child.Execute(ctx)
 	if err != nil {
 		return nil, err
@@ -90,6 +100,16 @@ func (l *Limit) Schema() *expr.RowSchema { return l.Child.Schema() }
 
 // Execute truncates the child's rows.
 func (l *Limit) Execute(ctx *ExecCtx) ([]*expr.Row, error) {
+	if ctx.Prof == nil {
+		return l.execute(ctx)
+	}
+	n := ctx.profEnter("Limit", fmt.Sprint(l.N))
+	out, err := l.execute(ctx)
+	ctx.profExit(n, len(out), err)
+	return out, err
+}
+
+func (l *Limit) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 	in, err := l.Child.Execute(ctx)
 	if err != nil {
 		return nil, err

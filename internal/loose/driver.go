@@ -74,6 +74,10 @@ type Driver struct {
 	// Tracer, when non-nil, emits one span per phase: loose.probe,
 	// loose.enrich, loose.writeback, loose.execute.
 	Tracer *telemetry.Tracer
+	// Prof, when non-nil, collects the EXPLAIN ANALYZE operator tree: one
+	// LooseQuery root with probe/enrich/execute phase nodes, the probe and
+	// final plans nested under their phase.
+	Prof *engine.Profiler
 }
 
 // NewDriver builds a loose driver with an in-process enrichment server. The
@@ -99,16 +103,23 @@ func (d *Driver) Execute(query string) (*Result, error) {
 func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	res := &Result{}
 	ctx := engine.NewExecCtx()
+	ctx.Prof = d.Prof
 	before := d.Mgr.Counters().Enrichments
+	qn := d.Prof.Phase("LooseQuery", "")
 
 	// Phase 1: probe queries identify the minimal enrichment set.
 	t0 := time.Now()
 	spProbe := d.Tracer.Start("loose.probe")
+	pn := d.Prof.Phase("LooseProbe", "")
 	probes, err := GenerateProbes(a, d.DB, d.Mgr, ctx)
 	if err != nil {
 		spProbe.Str("error", err.Error()).End()
 		return nil, err
 	}
+	for _, p := range probes {
+		res.ProbeTuples += len(p.TIDs)
+	}
+	d.Prof.End(pn, 0, int64(res.ProbeTuples))
 	spProbe.Int("probes", int64(len(probes))).End()
 	res.Timing.Probe = time.Since(t0)
 
@@ -118,9 +129,6 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range probes {
-		res.ProbeTuples += len(p.TIDs)
-	}
 
 	// Phase 3: enrich at the server, then write the state and the
 	// determined values back into the DBMS. Enrichment is best-effort:
@@ -128,6 +136,8 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	// attributes instead of failing the query, and the failure counts are
 	// surfaced so callers can see the answer is partial and retry.
 	if len(reqs) > 0 {
+		en := d.Prof.Phase("LooseEnrich", fmt.Sprintf("%d requests", len(reqs)))
+		applied := int64(0)
 		spEnrich := d.Tracer.Start("loose.enrich").Int("requests", int64(len(reqs)))
 		resps, timing, err := d.Enricher.EnrichBatch(reqs)
 		spEnrich.End()
@@ -156,13 +166,16 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 				return nil, err
 			}
 			spWB.End()
+			applied = int64(len(ok))
 			res.Timing.DBMS += time.Since(t1)
 		}
+		d.Prof.End(en, int64(len(reqs)), applied)
 	}
 
 	// Phase 4: execute the original query.
 	t2 := time.Now()
 	spExec := d.Tracer.Start("loose.execute")
+	xn := d.Prof.Phase("LooseExecute", "")
 	plan, err := engine.Build(a, d.DB)
 	if err != nil {
 		spExec.Str("error", err.Error()).End()
@@ -173,12 +186,14 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 		spExec.Str("error", err.Error()).End()
 		return nil, err
 	}
+	d.Prof.End(xn, 0, int64(len(rows)))
 	spExec.Int("rows", int64(len(rows))).End()
 	res.Timing.DBMS += time.Since(t2)
 	res.Rows = rows
 	res.Enrichments = d.Mgr.Counters().Enrichments - before
 	res.Stats = *ctx.Stats
 	ctx.PublishStats(d.Mgr.Telemetry().Add)
+	d.Prof.End(qn, int64(res.ProbeTuples), int64(len(rows)))
 	return res, nil
 }
 

@@ -17,15 +17,19 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"enrichdb"
+	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/telemetry"
+	"enrichdb/internal/types"
 	"enrichdb/internal/wire"
 )
 
@@ -58,6 +62,23 @@ type Config struct {
 	// Progressive is the option template for progressive queries (Design,
 	// OnEpoch, Quality and Cancel are overridden per query).
 	Progressive enrichdb.ProgressiveOptions
+	// Tracer, when non-nil, receives the serving tier's spans: handshake and
+	// admission per connection, and — for sampled queries — the full
+	// execution chain (plan/probe/enrich/epoch spans down in the drivers plus
+	// the result-stream span), every span stamped with the query's trace ID.
+	Tracer *telemetry.Tracer
+	// SampleEvery traces every Nth query per connection even when the client
+	// didn't set the sampled flag (1 samples everything, 0 disables
+	// server-side sampling). A sampled query also gets a Profile frame with
+	// its span summaries.
+	SampleEvery int
+	// SlowQueryThreshold, together with SlowQueryLog, logs every query whose
+	// wall time reaches the threshold.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives one JSON line per slow query: tenant, connection,
+	// query text, design, wall time, row/enrichment counts, trace ID, and the
+	// operator profile when one was collected. Writes are serialized.
+	SlowQueryLog io.Writer
 	// Logf, when non-nil, receives connection-level diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -74,6 +95,8 @@ type Server struct {
 	draining    bool
 	drainReason string
 	closed      bool
+
+	slowMu sync.Mutex // serializes SlowQueryLog writes
 
 	wg sync.WaitGroup // accept loop + connection handlers
 }
@@ -154,8 +177,12 @@ func (s *Server) acceptLoop(ln net.Listener) {
 			s:       s,
 			id:      s.nextConn,
 			nc:      nc,
-			queries: make(map[uint32]context.CancelFunc),
+			queries: make(map[uint32]*liveQuery),
 			stmts:   make(map[string]stmt),
+			// The connection's trace ID covers handshake, admission and every
+			// query the client didn't stamp with its own trace ID, so one
+			// JSONL trace spans the connection end to end.
+			trace: uint64(time.Now().UnixNano()) ^ (s.nextConn * 0x9e3779b97f4a7c15),
 		}
 		s.conns[c.id] = c
 		s.mu.Unlock()
@@ -256,19 +283,31 @@ type stmt struct {
 	sql    string
 }
 
+// liveQuery is one in-flight query's control block: the cancel hook plus
+// what /statusz shows about it.
+type liveQuery struct {
+	cancel context.CancelFunc
+	sql    string
+	design wire.Design
+	start  time.Time
+}
+
 // conn is one client connection's server-side state.
 type conn struct {
-	s      *Server
-	id     uint64
-	nc     net.Conn
-	sess   *enrichdb.Session
-	tenant string
+	s     *Server
+	id    uint64
+	nc    net.Conn
+	trace uint64            // connection-level trace ID
+	tr    *telemetry.Tracer // cfg.Tracer stamped with trace (nil when untraced)
+	qn    uint64            // queries started (read-loop only; drives SampleEvery)
 
 	wmu  sync.Mutex
 	wbuf []byte
 
 	mu      sync.Mutex
-	queries map[uint32]context.CancelFunc
+	sess    *enrichdb.Session
+	tenant  string
+	queries map[uint32]*liveQuery
 	stmts   map[string]stmt
 	closed  bool
 
@@ -304,8 +343,8 @@ func (c *conn) shutdown() {
 	}
 	c.closed = true
 	cancels := make([]context.CancelFunc, 0, len(c.queries))
-	for _, cancel := range c.queries {
-		cancels = append(cancels, cancel)
+	for _, q := range c.queries {
+		cancels = append(cancels, q.cancel)
 	}
 	c.mu.Unlock()
 	for _, cancel := range cancels {
@@ -338,18 +377,23 @@ func (c *conn) handle() {
 // binds the session. Reports success.
 func (c *conn) handshake() bool {
 	cfg := &c.s.cfg
+	c.tr = cfg.Tracer.WithTrace(c.trace)
+	sp := c.tr.Start("server.handshake").Int("conn", int64(c.id))
 	c.nc.SetReadDeadline(time.Now().Add(cfg.HandshakeTimeout))
 	fr, err := wire.ReadFrame(c.nc, cfg.MaxFrame)
 	if err != nil {
+		sp.Str("error", "read: "+err.Error()).End()
 		return false // slowloris, garbage, or disconnect: no reply owed
 	}
 	hello, ok := fr.(*wire.Hello)
 	if !ok {
 		c.write(&wire.Error{Code: wire.CodeBadFrame, Msg: fmt.Sprintf("expected Hello, got %s", fr.Type())})
+		sp.Str("error", "bad first frame").End()
 		return false
 	}
 	if hello.Proto != wire.ProtoVersion {
 		c.write(&wire.Error{Code: wire.CodeUnsupported, Msg: fmt.Sprintf("protocol %d not supported", hello.Proto)})
+		sp.Str("error", "unsupported proto").End()
 		return false
 	}
 	tenant := ""
@@ -357,16 +401,23 @@ func (c *conn) handshake() bool {
 		t, ok := cfg.Tokens[hello.Token]
 		if !ok {
 			c.write(&wire.Error{Code: wire.CodeAuth, Msg: "unknown token"})
+			sp.Str("error", "unknown token").End()
 			return false
 		}
 		tenant = t
 	}
 	if c.s.Draining() {
 		c.write(&wire.Error{Code: wire.CodeDraining, Msg: "server is draining"})
+		sp.Str("error", "draining").End()
 		return false
 	}
+	// Admission control queues here: the wait is the gap between this span
+	// and the handshake span's end, and lands in serve.admission_wait_ms.
+	spAdm := c.tr.Start("server.admission").Str("tenant", tenant)
 	sess, err := cfg.DB.SessionFor(tenant)
 	if err != nil {
+		spAdm.Str("error", err.Error()).End()
+		sp.End()
 		code := wire.CodeInternal
 		if errors.Is(err, enrichdb.ErrSessionTimeout) {
 			code = wire.CodeAdmission
@@ -374,11 +425,16 @@ func (c *conn) handshake() bool {
 		c.write(&wire.Error{Code: code, Msg: err.Error()})
 		return false
 	}
+	spAdm.End()
+	c.mu.Lock()
 	c.sess = sess
 	c.tenant = tenant
+	c.mu.Unlock()
 	if err := c.write(&wire.Welcome{Proto: wire.ProtoVersion, ConnID: c.id, Tenant: tenant, Version: sess.Version()}); err != nil {
+		sp.Str("error", "welcome write").End()
 		return false
 	}
+	sp.Str("tenant", tenant).Int("version", int64(sess.Version())).End()
 	return true
 }
 
@@ -407,7 +463,7 @@ func (c *conn) serveLoop() {
 		c.s.reg.Counter("serve.frames_in").Add(1)
 		switch f := fr.(type) {
 		case *wire.Query:
-			c.startQuery(f.ID, f.Design, f.SQL)
+			c.startQuery(f.ID, f.Design, f.SQL, f.Trace)
 		case *wire.Prepare:
 			c.prepare(f)
 		case *wire.Execute:
@@ -418,7 +474,7 @@ func (c *conn) serveLoop() {
 				c.write(&wire.Error{Query: f.ID, Code: wire.CodeUnknownStmt, Msg: fmt.Sprintf("statement %q not prepared", f.Name)})
 				continue
 			}
-			c.startQuery(f.ID, st.design, st.sql)
+			c.startQuery(f.ID, st.design, st.sql, f.Trace)
 		case *wire.Cancel:
 			c.cancelQuery(f.Query)
 		case *wire.Kill:
@@ -455,7 +511,7 @@ func (c *conn) prepare(f *wire.Prepare) {
 }
 
 // startQuery admits and launches one query goroutine.
-func (c *conn) startQuery(id uint32, design wire.Design, sql string) {
+func (c *conn) startQuery(id uint32, design wire.Design, sql string, tc wire.TraceContext) {
 	if id == 0 {
 		c.write(&wire.Error{Code: wire.CodeBadFrame, Msg: "query ID 0 is reserved"})
 		return
@@ -464,6 +520,19 @@ func (c *conn) startQuery(id uint32, design wire.Design, sql string) {
 		c.s.reg.Counter("serve.queries_rejected").Add(1)
 		c.write(&wire.Error{Query: id, Code: wire.CodeDraining, Msg: "server is draining"})
 		return
+	}
+	// Resolve the query's trace identity on the read loop: the client's
+	// trace ID when it sent one, the connection's otherwise (so an untraced
+	// client's whole connection still forms one trace). Sampling is the
+	// client's flag OR'd with the server-side every-Nth rotation.
+	c.qn++
+	traceID := tc.TraceID
+	if traceID == 0 {
+		traceID = c.trace
+	}
+	sampled := tc.Sampled
+	if n := c.s.cfg.SampleEvery; !sampled && n > 0 && (c.qn-1)%uint64(n) == 0 {
+		sampled = true
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	c.mu.Lock()
@@ -478,7 +547,7 @@ func (c *conn) startQuery(id uint32, design wire.Design, sql string) {
 		c.write(&wire.Error{Query: id, Code: wire.CodeBadFrame, Msg: "query ID already in flight"})
 		return
 	}
-	c.queries[id] = cancel
+	c.queries[id] = &liveQuery{cancel: cancel, sql: sql, design: design, start: time.Now()}
 	c.qwg.Add(1)
 	c.mu.Unlock()
 	c.s.reg.Counter("serve.queries_started").Add(1)
@@ -490,17 +559,17 @@ func (c *conn) startQuery(id uint32, design wire.Design, sql string) {
 			c.mu.Unlock()
 			cancel()
 		}()
-		c.runQuery(ctx, id, design, sql)
+		c.runQuery(ctx, id, design, sql, traceID, sampled)
 	}()
 }
 
 // cancelQuery aborts the connection's own in-flight query.
 func (c *conn) cancelQuery(id uint32) {
 	c.mu.Lock()
-	cancel := c.queries[id]
+	q := c.queries[id]
 	c.mu.Unlock()
-	if cancel != nil {
-		cancel()
+	if q != nil {
+		q.cancel()
 	}
 }
 
@@ -518,12 +587,12 @@ func (c *conn) kill(f *wire.Kill) {
 	target.mu.Lock()
 	cancels := make([]context.CancelFunc, 0, len(target.queries))
 	if f.TargetQuery != 0 {
-		if cancel := target.queries[f.TargetQuery]; cancel != nil {
-			cancels = append(cancels, cancel)
+		if q := target.queries[f.TargetQuery]; q != nil {
+			cancels = append(cancels, q.cancel)
 		}
 	} else {
-		for _, cancel := range target.queries {
-			cancels = append(cancels, cancel)
+		for _, q := range target.queries {
+			cancels = append(cancels, q.cancel)
 		}
 	}
 	target.mu.Unlock()
@@ -574,48 +643,153 @@ func (c *conn) streamRows(ctx context.Context, id uint32, cols []string, numRows
 	return nil
 }
 
+// observeLatency records one finished (or failed) query in the SLO
+// histograms: the global serve.latency_ms and the tenant's
+// serve.tenant.<name>.latency_ms, whose p50/p95/p99 /metrics exports.
+func (c *conn) observeLatency(wall time.Duration) {
+	reg := c.s.reg
+	reg.Histogram("serve.latency_ms", telemetry.LatencyBucketsMs).ObserveDuration(wall)
+	if c.tenant != "" {
+		reg.Histogram("serve.tenant."+c.tenant+".latency_ms", telemetry.LatencyBucketsMs).ObserveDuration(wall)
+	}
+}
+
+// flattenProfile serializes an operator tree preorder for the Profile frame.
+func flattenProfile(root *enrichdb.OpProfile) []wire.ProfileNode {
+	var nodes []wire.ProfileNode
+	var walk func(n *enrichdb.OpProfile, depth uint32)
+	walk = func(n *enrichdb.OpProfile, depth uint32) {
+		if n == nil {
+			return
+		}
+		nodes = append(nodes, wire.ProfileNode{
+			Depth: depth, Name: n.Name, Detail: n.Detail,
+			RowsIn: n.RowsIn, RowsOut: n.RowsOut,
+			Batches: n.Batches, FallbackRows: n.FallbackRows,
+			WallNs: n.Wall.Nanoseconds(),
+		})
+		for _, ch := range n.Children {
+			walk(ch, depth+1)
+		}
+	}
+	walk(root, 0)
+	return nodes
+}
+
+// profileSpans summarizes collected spans for the Profile frame (full
+// attributes stay in the server-side JSONL trace).
+func profileSpans(spans []*telemetry.Span) []wire.ProfileSpan {
+	out := make([]wire.ProfileSpan, 0, len(spans))
+	for _, sp := range spans {
+		out = append(out, wire.ProfileSpan{Name: sp.Name, Epoch: uint32(sp.Epoch), DurUS: sp.Dur.Microseconds()})
+	}
+	return out
+}
+
+// slowQueryRecord is one SlowQueryLog line.
+type slowQueryRecord struct {
+	TS          string  `json:"ts"`
+	Tenant      string  `json:"tenant"`
+	Conn        uint64  `json:"conn"`
+	Query       uint32  `json:"query"`
+	Design      string  `json:"design"`
+	SQL         string  `json:"sql"`
+	WallMS      float64 `json:"wall_ms"`
+	Rows        uint64  `json:"rows"`
+	Enrichments int64   `json:"enrichments,omitempty"`
+	UDFCalls    int64   `json:"udf_calls,omitempty"`
+	Epochs      uint32  `json:"epochs,omitempty"`
+	Trace       string  `json:"trace,omitempty"`
+	Profile     string  `json:"profile,omitempty"`
+}
+
+// maybeSlowLog appends one JSONL record when the query crossed the slow
+// threshold.
+func (s *Server) maybeSlowLog(rec slowQueryRecord, wall time.Duration) {
+	if s.cfg.SlowQueryLog == nil || s.cfg.SlowQueryThreshold <= 0 || wall < s.cfg.SlowQueryThreshold {
+		return
+	}
+	rec.TS = time.Now().UTC().Format(time.RFC3339Nano)
+	rec.WallMS = float64(wall.Microseconds()) / 1000
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.reg.Counter("serve.slow_queries").Add(1)
+	s.slowMu.Lock()
+	defer s.slowMu.Unlock()
+	s.cfg.SlowQueryLog.Write(append(b, '\n'))
+}
+
 // runQuery executes one query under its cancel context and streams the
-// result.
-func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql string) {
+// result. A leading EXPLAIN ANALYZE turns the query into its own profile:
+// the inner SELECT runs with the operator profiler attached and the result
+// set is the rendered tree (one "plan" column), with the structured nodes on
+// the Profile frame. A sampled query executes under a trace-ID-stamped
+// tracer teeing into a collector, and its span summaries ride the Profile
+// frame too.
+func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql string, traceID uint64, sampled bool) {
 	start := time.Now()
+	defer func() { c.observeLatency(time.Since(start)) }()
+	explain := false
+	if st, perr := sqlparser.ParseStatement(sql); perr == nil && st.ExplainAnalyze {
+		explain = true
+		sql = st.Select.String()
+	}
+	var collect *telemetry.CollectSink
+	qtr := c.s.cfg.Tracer.WithTrace(traceID)
+	if sampled {
+		collect = &telemetry.CollectSink{}
+		qtr = qtr.Tee(collect) // works even with no server tracer configured
+	}
+	obs := enrichdb.QueryObs{Tracer: qtr, Profile: explain}
+
 	done := wire.ResultDone{Query: id}
 	var cols []string
 	var numRows int
 	var at func(int) []enrichdb.Value
+	var prof *enrichdb.QueryProfile
 	var err error
 
 	switch design {
 	case wire.DesignPlain:
 		var rows *enrichdb.Rows
-		rows, err = c.sess.QueryCtx(ctx, sql)
+		rows, prof, err = c.sess.QueryObsCtx(ctx, sql, obs)
 		if err == nil {
 			cols, numRows, at = rows.Columns(), rows.Len(), rows.At
 		}
 	case wire.DesignLoose:
 		var res *enrichdb.Result
-		res, err = c.sess.QueryLoose(sql)
+		res, err = c.sess.QueryLooseObs(sql, obs)
 		if err == nil {
 			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
 			done.Enrichments = res.Enrichments
 			done.Failed = int64(res.FailedEnrichments)
+			prof = res.Profile
 		}
 	case wire.DesignTight:
 		var res *enrichdb.Result
-		res, err = c.sess.QueryTight(sql)
+		res, err = c.sess.QueryTightObs(sql, obs)
 		if err == nil {
 			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
 			done.Enrichments = res.Enrichments
 			done.UDFCalls = res.UDFInvocations
+			prof = res.Profile
 		}
 	case wire.DesignProgressive:
 		opts := c.s.cfg.Progressive
 		opts.Cancel = ctx.Done()
+		opts.Tracer = qtr
+		opts.Profile = explain
 		opts.OnEpoch = func(ep enrichdb.Epoch) {
 			c.write(&wire.Epoch{
 				Query: id, N: uint32(ep.N), Planned: uint32(ep.Planned),
 				Enrichments: ep.Enrichments,
 				Inserted:    uint32(ep.Inserted), Deleted: uint32(ep.Deleted),
 				Quality: ep.Quality, WallNs: ep.Wall.Nanoseconds(),
+				PlanNs:   ep.PlanTime.Nanoseconds(),
+				EnrichNs: ep.EnrichTime.Nanoseconds(),
+				DeltaNs:  ep.DeltaTime.Nanoseconds(),
 			})
 		}
 		var res *enrichdb.ProgressiveResult
@@ -624,6 +798,7 @@ func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql 
 			cols, numRows, at = res.Rows.Columns(), res.Rows.Len(), res.Rows.At
 			done.Enrichments = res.TotalEnrichments
 			done.Epochs = uint32(len(res.Epochs))
+			prof = res.Profile
 		}
 	default:
 		err = fmt.Errorf("unknown design %d", design)
@@ -638,16 +813,41 @@ func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql 
 		c.queryError(ctx, id, ctx.Err())
 		return
 	}
+	if explain {
+		// The EXPLAIN ANALYZE result set is the rendered operator tree.
+		lines := strings.Split(strings.TrimRight(prof.String(), "\n"), "\n")
+		cols, numRows = []string{"plan"}, len(lines)
+		at = func(i int) []enrichdb.Value { return []enrichdb.Value{types.NewString(lines[i])} }
+	}
+	spStream := qtr.Start("server.result_stream").Int("rows", int64(numRows))
 	if err := c.streamRows(ctx, id, cols, numRows, at); err != nil {
+		spStream.Str("error", err.Error()).End()
 		if ctx.Err() != nil {
 			c.queryError(ctx, id, err)
 		}
 		return // write errors already tore the conn down
 	}
+	spStream.End()
+	if sampled || explain {
+		pf := &wire.Profile{Query: id, TraceID: traceID, Design: design}
+		if prof != nil {
+			pf.Nodes = flattenProfile(prof.Root)
+		}
+		if collect != nil {
+			pf.Spans = profileSpans(collect.Spans())
+		}
+		c.write(pf)
+	}
+	wall := time.Since(start)
 	done.Rows = uint64(numRows)
-	done.WallNs = time.Since(start).Nanoseconds()
+	done.WallNs = wall.Nanoseconds()
 	c.write(&done)
 	c.s.reg.Counter("serve.queries_done").Add(1)
+	c.s.maybeSlowLog(slowQueryRecord{
+		Tenant: c.tenant, Conn: c.id, Query: id, Design: design.String(), SQL: sql,
+		Rows: uint64(numRows), Enrichments: done.Enrichments, UDFCalls: done.UDFCalls,
+		Epochs: done.Epochs, Trace: telemetry.FormatTraceID(traceID), Profile: prof.String(),
+	}, wall)
 }
 
 // countReader counts consumed bytes, letting the serve loop distinguish a

@@ -1,0 +1,118 @@
+// Serving-tier introspection: Status() snapshots live connections and
+// in-flight queries, and StatusHandler serves it as the /statusz page
+// together with the database's admission state (per-tenant quota and queue).
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"enrichdb"
+	"enrichdb/internal/telemetry"
+)
+
+// QueryStatus is one in-flight query.
+type QueryStatus struct {
+	Conn    uint64
+	ID      uint32
+	Design  string
+	SQL     string
+	Elapsed time.Duration
+}
+
+// ConnStatus is one live connection.
+type ConnStatus struct {
+	ID       uint64
+	Tenant   string
+	Remote   string
+	Trace    string // connection-level trace ID
+	InFlight int
+}
+
+// Status is a point-in-time view of the serving tier.
+type Status struct {
+	Draining bool
+	Conns    []ConnStatus
+	Queries  []QueryStatus
+	Serving  enrichdb.ServingStatus
+}
+
+// Status snapshots the server: every live connection (handshaken or not),
+// every in-flight query with its elapsed time, and the admission gate's
+// per-tenant state. Connections sort by ID, queries by elapsed descending
+// (the longest-running query first — what an operator wants at the top).
+func (s *Server) Status() Status {
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	draining := s.draining
+	s.mu.Unlock()
+	sort.Slice(conns, func(i, j int) bool { return conns[i].id < conns[j].id })
+
+	st := Status{Draining: draining, Serving: s.cfg.DB.ServingStatus()}
+	for _, c := range conns {
+		c.mu.Lock()
+		cs := ConnStatus{
+			ID: c.id, Tenant: c.tenant, Remote: c.nc.RemoteAddr().String(),
+			Trace: telemetry.FormatTraceID(c.trace), InFlight: len(c.queries),
+		}
+		for qid, q := range c.queries {
+			st.Queries = append(st.Queries, QueryStatus{
+				Conn: c.id, ID: qid, Design: q.design.String(), SQL: q.sql,
+				Elapsed: time.Since(q.start),
+			})
+		}
+		c.mu.Unlock()
+		st.Conns = append(st.Conns, cs)
+	}
+	sort.Slice(st.Queries, func(i, j int) bool { return st.Queries[i].Elapsed > st.Queries[j].Elapsed })
+	return st
+}
+
+// StatusHandler serves the /statusz page: plain text, one section each for
+// the server, admission control, connections, and in-flight queries.
+func (s *Server) StatusHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := s.Status()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "server: conns=%d in_flight=%d draining=%v\n",
+			len(st.Conns), len(st.Queries), st.Draining)
+		if st.Serving.Enabled {
+			fmt.Fprintf(w, "admission: active=%d max=%s queued=%d\n",
+				st.Serving.Active, capString(st.Serving.MaxSessions), st.Serving.Queued)
+			for _, t := range st.Serving.Tenants {
+				name := t.Name
+				if name == "" {
+					name = "(default)"
+				}
+				fmt.Fprintf(w, "tenant %s: active=%d max=%s priority=%d queued=%d\n",
+					name, t.Active, capString(t.Max), t.Priority, t.Queued)
+			}
+		} else {
+			fmt.Fprintf(w, "admission: disabled\n")
+		}
+		for _, c := range st.Conns {
+			tenant := c.Tenant
+			if tenant == "" {
+				tenant = "(default)"
+			}
+			fmt.Fprintf(w, "conn %d: tenant=%s remote=%s trace=%s in_flight=%d\n",
+				c.ID, tenant, c.Remote, c.Trace, c.InFlight)
+		}
+		for _, q := range st.Queries {
+			fmt.Fprintf(w, "query conn=%d id=%d design=%s elapsed=%s sql=%q\n",
+				q.Conn, q.ID, q.Design, q.Elapsed.Round(time.Millisecond), q.SQL)
+		}
+	})
+}
+
+func capString(max int) string {
+	if max <= 0 {
+		return "unlimited"
+	}
+	return fmt.Sprintf("%d", max)
+}

@@ -28,6 +28,7 @@ var keywords = map[string]bool{
 	"NULL": true, "TRUE": true, "FALSE": true, "AS": true,
 	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
 	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true, "IN": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 type token struct {

@@ -163,6 +163,49 @@ func Parse(input string) (*SelectStmt, error) {
 	return stmt, nil
 }
 
+// Statement is a top-level SQL statement: a SELECT, optionally prefixed
+// with EXPLAIN ANALYZE (run the query, return the operator profile tree
+// instead of the rows).
+type Statement struct {
+	ExplainAnalyze bool
+	Select         *SelectStmt
+}
+
+// String re-renders the statement in canonical form.
+func (s *Statement) String() string {
+	if s.ExplainAnalyze {
+		return "EXPLAIN ANALYZE " + s.Select.String()
+	}
+	return s.Select.String()
+}
+
+// ParseStatement parses `[EXPLAIN ANALYZE] SELECT ...`. Parse stays
+// SELECT-only — existing callers (the planner, the fuzz round-trip) are
+// unaffected; statement-level front ends (server, REPL) use this entry.
+func ParseStatement(input string) (*Statement, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	st := &Statement{}
+	if p.accept(tokKeyword, "EXPLAIN") {
+		if _, err := p.expect(tokKeyword, "ANALYZE"); err != nil {
+			return nil, err
+		}
+		st.ExplainAnalyze = true
+	}
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF, "") {
+		return nil, p.errf("trailing input after statement: %s", p.peek())
+	}
+	st.Select = sel
+	return st, nil
+}
+
 // MustParse is Parse that panics; for statically known-good queries in tests
 // and benchmarks.
 func MustParse(input string) *SelectStmt {

@@ -2,7 +2,10 @@ package telemetry
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 )
 
 // Handler serves a registry's snapshot in the expvar style: JSON by default,
@@ -14,6 +17,7 @@ func Handler(reg *Registry) http.Handler {
 		if r.URL.Query().Get("format") == "text" {
 			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 			_, _ = w.Write([]byte(snap.String()))
+			_, _ = w.Write([]byte(QuantileLines(snap)))
 			return
 		}
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
@@ -21,4 +25,30 @@ func Handler(reg *Registry) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(snap)
 	})
+}
+
+// QuantileLines renders one `<hist>.pNN <value>` line per histogram quantile
+// (p50/p95/p99), sorted by name — the estimated latency quantiles a human
+// (or a dumb scraper) reads straight off `/metrics?format=text` without
+// reconstructing them from raw bucket counts. Empty histograms are skipped;
+// an empty snapshot yields the empty string.
+func QuantileLines(snap Snapshot) string {
+	names := make([]string, 0, len(snap.Histograms))
+	for name, h := range snap.Histograms {
+		if h.Count > 0 {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return ""
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		h := snap.Histograms[name]
+		fmt.Fprintf(&b, "%s.p50 %g\n", name, h.Quantile(0.50))
+		fmt.Fprintf(&b, "%s.p95 %g\n", name, h.Quantile(0.95))
+		fmt.Fprintf(&b, "%s.p99 %g\n", name, h.Quantile(0.99))
+	}
+	return b.String()
 }

@@ -20,13 +20,28 @@ type Attr struct {
 
 // Span is one completed unit of pipeline work. Epoch 0 means "outside the
 // epoch loop" (setup-phase spans); Worker -1 means "not a worker span".
+// Trace 0 means "not part of a query trace" (in-process pipeline spans).
 type Span struct {
 	Name   string
 	Start  time.Time
 	Dur    time.Duration
 	Epoch  int
 	Worker int
+	Trace  uint64
 	Attrs  []Attr
+}
+
+// FormatTraceID renders a trace ID the way it appears in JSONL traces and
+// the tracefmt -query flag: 16 lowercase hex digits.
+func FormatTraceID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ParseTraceID parses a hex trace ID (with or without leading zeros).
+func ParseTraceID(s string) (uint64, error) {
+	var id uint64
+	if _, err := fmt.Sscanf(strings.ToLower(strings.TrimSpace(s)), "%x", &id); err != nil {
+		return 0, fmt.Errorf("telemetry: bad trace id %q: %w", s, err)
+	}
+	return id, nil
 }
 
 // Sink receives completed spans. Implementations must be safe for concurrent
@@ -40,7 +55,8 @@ type Sink interface {
 // no-ops on nil, and the whole path performs zero allocations (asserted by
 // TestDisabledTracerZeroAlloc).
 type Tracer struct {
-	sink Sink
+	sink  Sink
+	trace uint64
 }
 
 // NewTracer builds a tracer over a sink; a nil sink yields a nil (disabled)
@@ -55,6 +71,42 @@ func NewTracer(sink Sink) *Tracer {
 // Enabled reports whether spans are being recorded.
 func (t *Tracer) Enabled() bool { return t != nil && t.sink != nil }
 
+// WithTrace returns a derived tracer (same sink) that stamps every span it
+// starts with the given trace ID — the unit of propagation for one wire
+// query or one connection. Nil-safe: a disabled tracer stays disabled.
+func (t *Tracer) WithTrace(id uint64) *Tracer {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Tracer{sink: t.sink, trace: id}
+}
+
+// Tee returns a tracer that emits every span to both this tracer's sink and
+// extra, preserving the trace ID. A nil extra returns the receiver; a nil
+// receiver with a non-nil extra yields a tracer over extra alone — this is
+// how the server collects per-query span summaries even when no server-wide
+// trace sink is configured.
+func (t *Tracer) Tee(extra Sink) *Tracer {
+	if extra == nil {
+		return t
+	}
+	if !t.Enabled() {
+		return &Tracer{sink: extra}
+	}
+	return &Tracer{sink: TeeSink{A: t.sink, B: extra}, trace: t.trace}
+}
+
+// TeeSink forwards each span to two sinks, in order.
+type TeeSink struct {
+	A, B Sink
+}
+
+// Emit implements Sink.
+func (s TeeSink) Emit(sp *Span) {
+	s.A.Emit(sp)
+	s.B.Emit(sp)
+}
+
 // ActiveSpan is a span under construction. All methods are nil-safe.
 type ActiveSpan struct {
 	t  *Tracer
@@ -67,7 +119,15 @@ func (t *Tracer) Start(name string) *ActiveSpan {
 	if !t.Enabled() {
 		return nil
 	}
-	return &ActiveSpan{t: t, sp: Span{Name: name, Start: time.Now(), Worker: -1}}
+	return &ActiveSpan{t: t, sp: Span{Name: name, Start: time.Now(), Worker: -1, Trace: t.trace}}
+}
+
+// Trace overrides the span's trace ID (normally inherited from WithTrace).
+func (s *ActiveSpan) Trace(id uint64) *ActiveSpan {
+	if s != nil {
+		s.sp.Trace = id
+	}
+	return s
 }
 
 // Epoch tags the span with its epoch number.
@@ -128,6 +188,7 @@ type spanJSON struct {
 	DurUS  int64                  `json:"dur_us"`
 	Epoch  int                    `json:"epoch,omitempty"`
 	Worker *int                   `json:"worker,omitempty"`
+	Trace  string                 `json:"trace,omitempty"`
 	Attrs  map[string]interface{} `json:"attrs,omitempty"`
 }
 
@@ -137,6 +198,9 @@ func toJSON(sp *Span) spanJSON {
 		Start: sp.Start.UTC().Format(time.RFC3339Nano),
 		DurUS: sp.Dur.Microseconds(),
 		Epoch: sp.Epoch,
+	}
+	if sp.Trace != 0 {
+		j.Trace = FormatTraceID(sp.Trace)
 	}
 	if sp.Worker >= 0 {
 		w := sp.Worker
@@ -225,7 +289,79 @@ func FormatSpans(r io.Reader, w io.Writer) error {
 		if j.Worker != nil {
 			tag = fmt.Sprintf(" [worker %d]", *j.Worker)
 		}
+		if j.Trace != "" {
+			tag += fmt.Sprintf(" [trace %s]", j.Trace)
+		}
 		fmt.Fprintf(w, "  %-20s %10v%s", j.Name, dur, tag)
+		if len(j.Attrs) > 0 {
+			keys := make([]string, 0, len(j.Attrs))
+			for k := range j.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%v", k, j.Attrs[k])
+			}
+			fmt.Fprintf(w, "  %s", strings.Join(parts, " "))
+		}
+		fmt.Fprintln(w)
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%d spans, %v total span time\n", n, total.Round(time.Microsecond))
+	return nil
+}
+
+// FormatQueryTrace reads JSONL spans from r and prints only the spans whose
+// trace ID matches, as an indented tree: connection/setup-phase spans at the
+// top level, per-epoch spans nested under "epoch N" headers. Unknown span
+// keys in the input are ignored, not errors — newer servers may emit fields
+// this renderer does not know. Backs the tracefmt -query flag.
+func FormatQueryTrace(r io.Reader, w io.Writer, traceID string) error {
+	want, err := ParseTraceID(traceID)
+	if err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	lastEpoch := 0
+	n := 0
+	var total time.Duration
+	fmt.Fprintf(w, "trace %s\n", FormatTraceID(want))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var j spanJSON
+		if err := json.Unmarshal([]byte(line), &j); err != nil {
+			return fmt.Errorf("telemetry: bad span line %q: %w", line, err)
+		}
+		if j.Trace == "" {
+			continue
+		}
+		got, err := ParseTraceID(j.Trace)
+		if err != nil || got != want {
+			continue
+		}
+		indent := "  "
+		if j.Epoch != 0 {
+			if j.Epoch != lastEpoch {
+				fmt.Fprintf(w, "  epoch %d\n", j.Epoch)
+			}
+			indent = "    "
+		}
+		lastEpoch = j.Epoch
+		dur := time.Duration(j.DurUS) * time.Microsecond
+		total += dur
+		tag := ""
+		if j.Worker != nil {
+			tag = fmt.Sprintf(" [worker %d]", *j.Worker)
+		}
+		fmt.Fprintf(w, "%s%-22s %10v%s", indent, j.Name, dur, tag)
 		if len(j.Attrs) > 0 {
 			keys := make([]string, 0, len(j.Attrs))
 			for k := range j.Attrs {

@@ -43,6 +43,9 @@ type Driver struct {
 	BuildOptions engine.BuildOptions
 	// Tracer, when non-nil, emits a tight.execute span per query.
 	Tracer *telemetry.Tracer
+	// Prof, when non-nil, collects the EXPLAIN ANALYZE operator tree of the
+	// rewritten plan (UDF-wrapped predicates show up as Filter nodes).
+	Prof *engine.Profiler
 }
 
 // NewDriver builds a tight driver over a live database or a snapshot.
@@ -79,6 +82,7 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	rt.InvokeOverhead = d.InvokeOverhead
 	rt.BatchUDF = d.BatchUDF
 	ctx := engine.NewExecCtx()
+	ctx.Prof = d.Prof
 	ctx.Eval.Runtime = rt
 	// Stored tuples are immutable; rows must own their values so read_udf
 	// can patch freshly determined derived values into rows mid-plan (the

@@ -48,6 +48,10 @@ type Result struct {
 	UDFCalls    int64
 	NumEpochs   uint32
 	Wall        time.Duration
+	// Profile is the server's observability payload — the trace ID its spans
+	// carry, the EXPLAIN ANALYZE operator tree, sampled span summaries. Sent
+	// only for sampled or EXPLAIN ANALYZE queries; nil otherwise.
+	Profile *wire.Profile
 }
 
 // call is one in-flight request awaiting its terminal frame.
@@ -231,6 +235,10 @@ func (c *Client) readLoop() {
 				if cl.onEpoch != nil {
 					cl.onEpoch(*f)
 				}
+			}
+		case *wire.Profile:
+			if cl := c.lookup(f.Query); cl != nil {
+				cl.res.Profile = f
 			}
 		case *wire.ResultDone:
 			if cl := c.take(f.Query); cl != nil {
@@ -425,8 +433,18 @@ func (c *Client) Query(ctx context.Context, design wire.Design, sql string) (*Re
 // them fast, they gate every other response on the connection.
 func (c *Client) QueryFunc(ctx context.Context, design wire.Design, sql string,
 	onEpoch func(wire.Epoch), onBatch func(*wire.ResultBatch)) (*Result, error) {
+	return c.QueryTrace(ctx, design, sql, wire.TraceContext{}, onEpoch, onBatch)
+}
+
+// QueryTrace is QueryFunc with a trace context on the Query frame: the
+// server stamps the query's spans with tc.TraceID (its own otherwise), and
+// tc.Sampled forces span collection — the Result then carries a Profile
+// with the span summaries. The zero context encodes to nothing, so frames
+// stay byte-compatible with pre-trace servers.
+func (c *Client) QueryTrace(ctx context.Context, design wire.Design, sql string,
+	tc wire.TraceContext, onEpoch func(wire.Epoch), onBatch func(*wire.ResultBatch)) (*Result, error) {
 	cl, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
-		return &wire.Query{ID: id, Design: design, SQL: sql}
+		return &wire.Query{ID: id, Design: design, SQL: sql, Trace: tc}
 	}, onEpoch, onBatch)
 	if err != nil {
 		return nil, err
@@ -444,8 +462,13 @@ func (c *Client) Prepare(ctx context.Context, name string, design wire.Design, s
 
 // Execute runs a previously prepared statement.
 func (c *Client) Execute(ctx context.Context, name string) (*Result, error) {
+	return c.ExecuteTrace(ctx, name, wire.TraceContext{})
+}
+
+// ExecuteTrace is Execute with a trace context (see QueryTrace).
+func (c *Client) ExecuteTrace(ctx context.Context, name string, tc wire.TraceContext) (*Result, error) {
 	cl, err := c.roundTrip(ctx, func(id uint32) wire.Frame {
-		return &wire.Execute{ID: id, Name: name}
+		return &wire.Execute{ID: id, Name: name, Trace: tc}
 	}, nil, nil)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,7 @@ const (
 	TypePing         Type = 15 // either direction: liveness probe
 	TypePong         Type = 16 // either direction: liveness reply
 	TypeDrain        Type = 17 // server→client: server is shutting down
+	TypeProfile      Type = 18 // server→client: sampled spans + operator profile
 )
 
 // String names a frame type for diagnostics.
@@ -65,6 +66,8 @@ func (t Type) String() string {
 		return "PONG"
 	case TypeDrain:
 		return "DRAIN"
+	case TypeProfile:
+		return "PROFILE"
 	default:
 		return fmt.Sprintf("TYPE(%d)", uint8(t))
 	}
@@ -140,11 +143,13 @@ type Welcome struct {
 
 // Query runs SQL under a design. ID is chosen by the client, must be nonzero
 // and unused on this connection; every response frame for the query echoes
-// it.
+// it. Trace is optional client-supplied trace context (zero = absent on the
+// wire — pre-trace peers interoperate unchanged).
 type Query struct {
 	ID     uint32
 	Design Design
 	SQL    string
+	Trace  TraceContext
 }
 
 // Prepare registers a named statement (parse/analyze once, execute many).
@@ -153,6 +158,7 @@ type Prepare struct {
 	Name   string
 	Design Design
 	SQL    string
+	Trace  TraceContext
 }
 
 // PrepareOK acknowledges a Prepare.
@@ -163,8 +169,9 @@ type PrepareOK struct {
 
 // Execute runs a prepared statement; responses carry ID like a Query.
 type Execute struct {
-	ID   uint32
-	Name string
+	ID    uint32
+	Name  string
+	Trace TraceContext
 }
 
 // Cancel aborts the connection's own in-flight query with the given ID. The
@@ -207,7 +214,9 @@ type ResultDone struct {
 }
 
 // Epoch is one progressive epoch's report, streamed while the query is
-// still refining.
+// still refining. PlanNs/EnrichNs/DeltaNs split the epoch's wall time into
+// its pipeline phases (plan / enrich+determinize / IVM refresh); all-zero
+// means absent on the wire, keeping pre-profile peers compatible.
 type Epoch struct {
 	Query       uint32
 	N           uint32
@@ -217,6 +226,9 @@ type Epoch struct {
 	Deleted     uint32
 	Quality     float64
 	WallNs      int64
+	PlanNs      int64
+	EnrichNs    int64
+	DeltaNs     int64
 }
 
 // Error reports a failure. Query 0 addresses the connection itself
@@ -316,7 +328,8 @@ func decodeWelcome(r *buf) (Frame, error) {
 func (f *Query) appendPayload(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(f.ID))
 	dst = append(dst, byte(f.Design))
-	return appendStr(dst, f.SQL)
+	dst = appendStr(dst, f.SQL)
+	return f.Trace.appendOptional(dst)
 }
 
 func decodeQuery(r *buf) (Frame, error) {
@@ -333,6 +346,9 @@ func decodeQuery(r *buf) (Frame, error) {
 	if f.SQL, err = r.str(); err != nil {
 		return nil, err
 	}
+	if err = f.Trace.decodeOptional(r); err != nil {
+		return nil, err
+	}
 	return &f, nil
 }
 
@@ -340,7 +356,8 @@ func (f *Prepare) appendPayload(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(f.ID))
 	dst = appendStr(dst, f.Name)
 	dst = append(dst, byte(f.Design))
-	return appendStr(dst, f.SQL)
+	dst = appendStr(dst, f.SQL)
+	return f.Trace.appendOptional(dst)
 }
 
 func decodePrepare(r *buf) (Frame, error) {
@@ -358,6 +375,9 @@ func decodePrepare(r *buf) (Frame, error) {
 	}
 	f.Design = Design(d)
 	if f.SQL, err = r.str(); err != nil {
+		return nil, err
+	}
+	if err = f.Trace.decodeOptional(r); err != nil {
 		return nil, err
 	}
 	return &f, nil
@@ -382,7 +402,8 @@ func decodePrepareOK(r *buf) (Frame, error) {
 
 func (f *Execute) appendPayload(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(f.ID))
-	return appendStr(dst, f.Name)
+	dst = appendStr(dst, f.Name)
+	return f.Trace.appendOptional(dst)
 }
 
 func decodeExecute(r *buf) (Frame, error) {
@@ -392,6 +413,9 @@ func decodeExecute(r *buf) (Frame, error) {
 		return nil, err
 	}
 	if f.Name, err = r.str(); err != nil {
+		return nil, err
+	}
+	if err = f.Trace.decodeOptional(r); err != nil {
 		return nil, err
 	}
 	return &f, nil
@@ -510,7 +534,16 @@ func (f *Epoch) appendPayload(dst []byte) []byte {
 	dst = appendUvarint(dst, uint64(f.Inserted))
 	dst = appendUvarint(dst, uint64(f.Deleted))
 	dst = appendF64(dst, f.Quality)
-	return appendVarint(dst, f.WallNs)
+	dst = appendVarint(dst, f.WallNs)
+	// Optional phase-timing suffix: present only when some phase is nonzero,
+	// so the canonical encoding of a timing-free epoch is byte-identical to
+	// the pre-profile format.
+	if f.PlanNs != 0 || f.EnrichNs != 0 || f.DeltaNs != 0 {
+		dst = appendVarint(dst, f.PlanNs)
+		dst = appendVarint(dst, f.EnrichNs)
+		dst = appendVarint(dst, f.DeltaNs)
+	}
+	return dst
 }
 
 func decodeEpoch(r *buf) (Frame, error) {
@@ -539,6 +572,17 @@ func decodeEpoch(r *buf) (Frame, error) {
 	}
 	if f.WallNs, err = r.varint(); err != nil {
 		return nil, err
+	}
+	if r.remaining() > 0 {
+		if f.PlanNs, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if f.EnrichNs, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if f.DeltaNs, err = r.varint(); err != nil {
+			return nil, err
+		}
 	}
 	return &f, nil
 }
@@ -643,6 +687,8 @@ func DecodeFrame(t Type, payload []byte) (Frame, error) {
 		f, err = decodePong(r)
 	case TypeDrain:
 		f, err = decodeDrain(r)
+	case TypeProfile:
+		f, err = decodeProfile(r)
 	default:
 		return nil, fmt.Errorf("wire: unknown frame type %d", uint8(t))
 	}

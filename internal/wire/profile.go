@@ -1,0 +1,195 @@
+package wire
+
+// Query observability frames: the optional trace-context suffix carried by
+// Query/Prepare/Execute, and the Profile frame streaming sampled span
+// summaries plus the EXPLAIN ANALYZE operator tree back to the client.
+
+// TraceContext is optional per-query trace metadata. The zero value means
+// "no trace context" and encodes to nothing at all: it rides as an optional
+// payload suffix, so frames from (and to) pre-trace peers are byte-for-byte
+// unchanged. A non-canonical explicit-zero suffix decodes to the zero value
+// and re-encodes suffix-free, which keeps the canonical-encoding property
+// FuzzFrame enforces.
+type TraceContext struct {
+	TraceID uint64 // trace this query belongs to (0 = unset)
+	SpanID  uint64 // client-side parent span (0 = unset)
+	Sampled bool   // client requests span collection + a Profile frame
+}
+
+const traceSampledFlag = 0x01
+
+// Zero reports whether the context is absent.
+func (tc TraceContext) Zero() bool {
+	return tc.TraceID == 0 && tc.SpanID == 0 && !tc.Sampled
+}
+
+// appendOptional appends the suffix encoding (flags byte + two uvarints),
+// or nothing for the zero value.
+func (tc TraceContext) appendOptional(dst []byte) []byte {
+	if tc.Zero() {
+		return dst
+	}
+	flags := byte(0)
+	if tc.Sampled {
+		flags |= traceSampledFlag
+	}
+	dst = append(dst, flags)
+	dst = appendUvarint(dst, tc.TraceID)
+	return appendUvarint(dst, tc.SpanID)
+}
+
+// decodeOptional consumes the suffix when payload bytes remain; absent
+// suffix leaves the zero value. Unknown flag bits are ignored (reserved).
+func (tc *TraceContext) decodeOptional(r *buf) error {
+	if r.remaining() == 0 {
+		return nil
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return err
+	}
+	tc.Sampled = flags&traceSampledFlag != 0
+	if tc.TraceID, err = r.uvarint(); err != nil {
+		return err
+	}
+	if tc.SpanID, err = r.uvarint(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ProfileNode is one operator of the EXPLAIN ANALYZE tree, flattened in
+// preorder; Depth reconstructs the tree shape (root depth 0).
+type ProfileNode struct {
+	Depth        uint32
+	Name         string
+	Detail       string
+	RowsIn       int64
+	RowsOut      int64
+	Batches      int64
+	FallbackRows int64
+	WallNs       int64
+}
+
+// ProfileSpan is one sampled span summary (name + epoch + duration — the
+// full attributes stay in the server-side JSONL trace).
+type ProfileSpan struct {
+	Name  string
+	Epoch uint32
+	DurUS int64
+}
+
+// Profile carries a query's observability payload back to the client:
+// the trace ID the server stamped on its spans (so the client can find the
+// query in the server's JSONL trace), the operator profile tree when the
+// query ran under EXPLAIN ANALYZE, and sampled span summaries when the
+// query was sampled. Sent before ResultDone; clients that predate it
+// ignore unknown well-formed frames.
+type Profile struct {
+	Query   uint32
+	TraceID uint64
+	Design  Design
+	Nodes   []ProfileNode
+	Spans   []ProfileSpan
+}
+
+func (*Profile) Type() Type { return TypeProfile }
+
+func (f *Profile) appendPayload(dst []byte) []byte {
+	dst = appendUvarint(dst, uint64(f.Query))
+	dst = appendUvarint(dst, f.TraceID)
+	dst = append(dst, byte(f.Design))
+	dst = appendUvarint(dst, uint64(len(f.Nodes)))
+	for i := range f.Nodes {
+		n := &f.Nodes[i]
+		dst = appendUvarint(dst, uint64(n.Depth))
+		dst = appendStr(dst, n.Name)
+		dst = appendStr(dst, n.Detail)
+		dst = appendVarint(dst, n.RowsIn)
+		dst = appendVarint(dst, n.RowsOut)
+		dst = appendVarint(dst, n.Batches)
+		dst = appendVarint(dst, n.FallbackRows)
+		dst = appendVarint(dst, n.WallNs)
+	}
+	dst = appendUvarint(dst, uint64(len(f.Spans)))
+	for i := range f.Spans {
+		s := &f.Spans[i]
+		dst = appendStr(dst, s.Name)
+		dst = appendUvarint(dst, uint64(s.Epoch))
+		dst = appendVarint(dst, s.DurUS)
+	}
+	return dst
+}
+
+func decodeProfile(r *buf) (Frame, error) {
+	var f Profile
+	var err error
+	if f.Query, err = r.u32(); err != nil {
+		return nil, err
+	}
+	if f.TraceID, err = r.uvarint(); err != nil {
+		return nil, err
+	}
+	d, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	f.Design = Design(d)
+	// Minimum encoded node: depth + two empty strings + five varints = 8
+	// bytes; span: empty string + epoch + dur = 3. The count guard bounds
+	// allocation by the bytes actually present.
+	nNodes, err := r.count(8)
+	if err != nil {
+		return nil, err
+	}
+	if nNodes > 0 {
+		f.Nodes = make([]ProfileNode, nNodes)
+	}
+	for i := range f.Nodes {
+		n := &f.Nodes[i]
+		if n.Depth, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if n.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if n.Detail, err = r.str(); err != nil {
+			return nil, err
+		}
+		if n.RowsIn, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if n.RowsOut, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if n.Batches, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if n.FallbackRows, err = r.varint(); err != nil {
+			return nil, err
+		}
+		if n.WallNs, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	nSpans, err := r.count(3)
+	if err != nil {
+		return nil, err
+	}
+	if nSpans > 0 {
+		f.Spans = make([]ProfileSpan, nSpans)
+	}
+	for i := range f.Spans {
+		s := &f.Spans[i]
+		if s.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		if s.Epoch, err = r.u32(); err != nil {
+			return nil, err
+		}
+		if s.DurUS, err = r.varint(); err != nil {
+			return nil, err
+		}
+	}
+	return &f, nil
+}

@@ -18,9 +18,14 @@ func sampleFrames() []Frame {
 		&Hello{Proto: ProtoVersion, Token: "tok-alpha", Client: "loadgen/1"},
 		&Welcome{Proto: ProtoVersion, ConnID: 42, Tenant: "alpha", Version: 17},
 		&Query{ID: 7, Design: DesignTight, SQL: "SELECT * FROM T WHERE label = 3"},
+		&Query{ID: 11, Design: DesignProgressive, SQL: "SELECT id FROM T",
+			Trace: TraceContext{TraceID: 0xdeadbeefcafe, SpanID: 17, Sampled: true}},
 		&Prepare{ID: 8, Name: "q1", Design: DesignLoose, SQL: "SELECT id FROM T"},
+		&Prepare{ID: 12, Name: "q2", Design: DesignPlain, SQL: "SELECT id FROM T",
+			Trace: TraceContext{TraceID: 1, Sampled: false}},
 		&PrepareOK{ID: 8, Name: "q1"},
 		&Execute{ID: 9, Name: "q1"},
+		&Execute{ID: 13, Name: "q2", Trace: TraceContext{SpanID: 5, Sampled: true}},
 		&Cancel{Query: 7},
 		&Kill{ID: 10, TargetConn: 42, TargetQuery: 7},
 		&Killed{ID: 10, Count: 1},
@@ -37,6 +42,18 @@ func sampleFrames() []Frame {
 		&ResultBatch{Query: 3, NRows: 0},
 		&ResultDone{Query: 7, Rows: 1000, Enrichments: 12, Failed: 1, UDFCalls: 30, Epochs: 4, WallNs: 5_000_000},
 		&Epoch{Query: 7, N: 2, Planned: 64, Enrichments: 64, Inserted: 5, Deleted: 1, Quality: 0.75, WallNs: 25_000_000},
+		&Epoch{Query: 11, N: 3, Planned: 32, Enrichments: 32, Quality: 1,
+			WallNs: 9_000_000, PlanNs: 1_000_000, EnrichNs: 7_500_000, DeltaNs: 500_000},
+		&Profile{Query: 11, TraceID: 0xdeadbeefcafe, Design: DesignProgressive,
+			Nodes: []ProfileNode{
+				{Depth: 0, Name: "Filter", Detail: "R.a < 50", RowsIn: 1000, RowsOut: 500, Batches: 1, WallNs: 12345},
+				{Depth: 1, Name: "Scan", Detail: "R AS R", RowsIn: 1000, RowsOut: 1000, FallbackRows: 3, WallNs: 9876},
+			},
+			Spans: []ProfileSpan{
+				{Name: "query.setup", Epoch: 0, DurUS: 42},
+				{Name: "epoch.enrich", Epoch: 1, DurUS: 1234},
+			}},
+		&Profile{Query: 12, Design: DesignPlain},
 		&Error{Query: 7, Code: CodeQuery, Msg: "unknown relation Q"},
 		&Ping{Nonce: 99},
 		&Pong{Nonce: 99},

@@ -7,6 +7,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/metrics"
 	"enrichdb/internal/progressive"
+	"enrichdb/internal/telemetry"
 )
 
 // Design selects the architecture for a progressive run.
@@ -62,6 +63,13 @@ type ProgressiveOptions struct {
 	// returns the answer refined so far — cancellation is not an error, a
 	// canceled progressive query is just a less-refined one.
 	Cancel <-chan struct{}
+	// Tracer, when non-nil, replaces the database's tracer for this run —
+	// the serving tier derives one per sampled query so the run's epoch
+	// spans carry the query's trace ID.
+	Tracer *telemetry.Tracer
+	// Profile, when set, synthesizes the run's phase-level EXPLAIN ANALYZE
+	// tree (setup/plan/enrich/UDF/refresh) on ProgressiveResult.Profile.
+	Profile bool
 }
 
 // Epoch is one epoch's telemetry.
@@ -78,6 +86,12 @@ type Epoch struct {
 	Inserted  int
 	Deleted   int
 	Wall      time.Duration
+	// PlanTime, EnrichTime and DeltaTime break the epoch's wall into its
+	// dominant phases: PlanTable sampling, function execution, and IVM delta
+	// apply. The serving tier streams them as per-epoch profile deltas.
+	PlanTime   time.Duration
+	EnrichTime time.Duration
+	DeltaTime  time.Duration
 	// EnrichErr is set when the epoch's enrichment batch was lost in
 	// transport; the epoch enriched nothing and its plan was re-queued.
 	EnrichErr string
@@ -94,6 +108,9 @@ type ProgressiveResult struct {
 	FailedEpochs int
 	// Overhead is Exp 4's non-enrichment cost breakdown.
 	Overhead ProgressiveOverhead
+	// Profile is the phase-level EXPLAIN ANALYZE tree when the run was
+	// started with ProgressiveOptions.Profile; nil otherwise.
+	Profile *QueryProfile
 
 	schema   *expr.RowSchema
 	inserted [][]*expr.Row // per epoch
@@ -174,6 +191,10 @@ func (r *ProgressiveResult) Score() float64 {
 // Results improve monotonically in enrichment coverage; stop reading when
 // satisfied.
 func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*ProgressiveResult, error) {
+	tracer := db.tracer
+	if opts.Tracer != nil {
+		tracer = opts.Tracer
+	}
 	cfg := progressive.Config{
 		Design:         progressive.Design(opts.Design),
 		Query:          query,
@@ -186,7 +207,7 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		Seed:           opts.Seed,
 		InvokeOverhead: db.TightInvokeOverhead,
 		CollectDeltas:  true, // backs OnDelta and DeltaSince
-		Tracer:         db.tracer,
+		Tracer:         tracer,
 		Cancel:         opts.Cancel,
 	}
 	if opts.OnEpoch != nil {
@@ -205,10 +226,12 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 			return opts.Quality(wrapRows(rows[0].Schema, rows))
 		}
 	}
+	start := time.Now()
 	res, err := progressive.Run(cfg)
 	if err != nil {
 		return nil, err
 	}
+	wall := time.Since(start)
 	out := &ProgressiveResult{
 		Quality:          res.Quality,
 		TotalEnrichments: res.TotalEnrichments,
@@ -238,6 +261,9 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 	} else {
 		out.Rows = &Rows{}
 	}
+	if opts.Profile {
+		out.Profile = progressiveProfile(out, wall)
+	}
 	return out, nil
 }
 
@@ -247,6 +273,7 @@ func wrapEpoch(ep progressive.EpochReport) Epoch {
 		N: ep.Epoch, Planned: ep.Planned, Enrichments: ep.Executed,
 		Skipped: ep.Skipped, Coalesced: ep.Coalesced,
 		Quality: ep.Quality, Inserted: ep.Inserted, Deleted: ep.Deleted, Wall: ep.Wall,
+		PlanTime: ep.PlanTime, EnrichTime: ep.EnrichTime, DeltaTime: ep.DeltaTime,
 		EnrichErr: ep.EnrichErr,
 	}
 }

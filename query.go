@@ -61,6 +61,9 @@ type Result struct {
 	UDFInvocations int64
 	// Timing splits the execution cost.
 	Timing QueryTiming
+	// Profile is the EXPLAIN ANALYZE operator tree when the query ran with
+	// QueryObs.Profile set; nil otherwise.
+	Profile *QueryProfile
 }
 
 // QueryTiming is the per-component cost breakdown of one query.

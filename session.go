@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -177,6 +178,12 @@ func rejectCounters(reg *telemetry.Registry, g *tenantGate) {
 	}
 }
 
+// observeWait records one admission's queue wait in the serve.admission_wait_ms
+// histogram (zero for immediate grants, so quantiles cover every admission).
+func observeWait(reg *telemetry.Registry, d time.Duration) {
+	reg.Histogram("serve.admission_wait_ms", telemetry.LatencyBucketsMs).ObserveDuration(d)
+}
+
 // acquire admits one session for tenant, queueing up to the timeout. On
 // success it returns the charged gate; release undoes the charge.
 func (a *admission) acquire(reg *telemetry.Registry, tenant string) (*tenantGate, error) {
@@ -186,6 +193,7 @@ func (a *admission) acquire(reg *telemetry.Registry, tenant string) (*tenantGate
 		a.grantLocked(g)
 		a.mu.Unlock()
 		admitCounters(reg, g)
+		observeWait(reg, 0)
 		return g, nil
 	}
 	if a.timeout <= 0 {
@@ -206,6 +214,7 @@ func (a *admission) acquire(reg *telemetry.Registry, tenant string) (*tenantGate
 	case <-w.ready:
 		reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
 		admitCounters(reg, g)
+		observeWait(reg, time.Since(waitStart))
 		return g, nil
 	case <-t.C:
 	}
@@ -217,12 +226,62 @@ func (a *admission) acquire(reg *telemetry.Registry, tenant string) (*tenantGate
 		a.mu.Unlock()
 		reg.Counter("serve.queue_wait_ns").Add(time.Since(waitStart).Nanoseconds())
 		admitCounters(reg, g)
+		observeWait(reg, time.Since(waitStart))
 		return g, nil
 	}
 	a.removeWaiterLocked(w)
 	a.mu.Unlock()
 	rejectCounters(reg, g)
 	return nil, ErrSessionTimeout
+}
+
+// TenantStatus is one tenant's live admission state (a /statusz row).
+type TenantStatus struct {
+	Name     string // "" is the default tenant
+	Active   int    // open sessions
+	Max      int    // per-tenant cap; <=0 unlimited
+	Priority int
+	Queued   int // sessions waiting on this tenant's quota or the global cap
+}
+
+// ServingStatus is a point-in-time view of admission control, the data
+// behind the serving tier's /statusz endpoint.
+type ServingStatus struct {
+	Enabled     bool
+	MaxSessions int // global cap; <=0 unlimited
+	Active      int // open sessions across all tenants
+	Queued      int // waiters across all tenants
+	Tenants     []TenantStatus
+}
+
+// ServingStatus reports the admission gate's live state: totals plus one row
+// per tenant that has a configured quota or has opened a session, sorted by
+// name. With serving disabled it returns the zero value.
+func (db *DB) ServingStatus() ServingStatus {
+	a := db.serving.Load()
+	if a == nil {
+		return ServingStatus{}
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := ServingStatus{Enabled: true, MaxSessions: a.max, Active: a.active, Queued: len(a.waiters)}
+	queued := make(map[string]int)
+	for _, w := range a.waiters {
+		queued[w.gate.name]++
+	}
+	names := make([]string, 0, len(a.gates))
+	for name := range a.gates {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g := a.gates[name]
+		st.Tenants = append(st.Tenants, TenantStatus{
+			Name: g.name, Active: g.active, Max: g.max,
+			Priority: g.priority, Queued: queued[g.name],
+		})
+	}
+	return st
 }
 
 // release returns one session's capacity and wakes eligible waiters.
@@ -331,27 +390,40 @@ func (s *Session) Query(query string) (*Rows, error) {
 // between batches of work and aborts with ctx.Err() once it fires, so a long
 // scan, filter or join can be killed mid-flight.
 func (s *Session) QueryCtx(ctx context.Context, query string) (*Rows, error) {
+	rows, _, err := s.QueryObsCtx(ctx, query, QueryObs{})
+	return rows, err
+}
+
+// QueryObsCtx is QueryCtx with per-query observability: a tracer override
+// and, when obs.Profile is set, the EXPLAIN ANALYZE operator tree of the
+// executed plan.
+func (s *Session) QueryObsCtx(ctx context.Context, query string, obs QueryObs) (*Rows, *QueryProfile, error) {
 	if s.closed.Load() {
-		return nil, fmt.Errorf("enrichdb: session is closed")
+		return nil, nil, fmt.Errorf("enrichdb: session is closed")
 	}
 	a, err := s.db.analyzeSQL(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	plan, err := engine.Build(a, s.snap)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	ec := engine.NewExecCtx()
 	ec.Done = ctx.Done()
+	prof := newProfiler(obs)
+	ec.Prof = prof
+	sp := s.obsTracer(obs).Start("plain.execute")
 	rows, err := plan.Execute(ec)
 	if err != nil {
+		sp.Str("error", err.Error()).End()
 		if errors.Is(err, engine.ErrCanceled) && ctx.Err() != nil {
-			return nil, ctx.Err()
+			return nil, nil, ctx.Err()
 		}
-		return nil, err
+		return nil, nil, err
 	}
-	return wrapRows(plan.Schema(), rows), nil
+	sp.Int("rows", int64(len(rows))).End()
+	return wrapRows(plan.Schema(), rows), profileResult("plain", prof), nil
 }
 
 // QueryLoose executes a query against the snapshot with the loose design.
@@ -359,10 +431,19 @@ func (s *Session) QueryCtx(ctx context.Context, query string) (*Rows, error) {
 // and enrichment server; determined values land in the session's view and,
 // generation-guarded, in the live tables.
 func (s *Session) QueryLoose(query string) (*Result, error) {
+	return s.QueryLooseObs(query, QueryObs{})
+}
+
+// QueryLooseObs is QueryLoose with per-query observability: a tracer
+// override (spans land under the query's trace) and, when obs.Profile is
+// set, the EXPLAIN ANALYZE phase tree on Result.Profile.
+func (s *Session) QueryLooseObs(query string, obs QueryObs) (*Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("enrichdb: session is closed")
 	}
-	drv := &loose.Driver{DB: s.snap, Mgr: s.db.mgr, Enricher: s.db.enricher, Tracer: s.db.tracer}
+	prof := newProfiler(obs)
+	drv := &loose.Driver{DB: s.snap, Mgr: s.db.mgr, Enricher: s.db.enricher,
+		Tracer: s.obsTracer(obs), Prof: prof}
 	res, err := drv.Execute(query)
 	if err != nil {
 		return nil, err
@@ -386,6 +467,7 @@ func (s *Session) QueryLoose(query string) (*Result, error) {
 			Network: res.Timing.Network,
 			DBMS:    res.Timing.DBMS,
 		},
+		Profile: profileResult("loose", prof),
 	}, nil
 }
 
@@ -393,11 +475,20 @@ func (s *Session) QueryLoose(query string) (*Result, error) {
 // rewritten UDFs enrich the snapshot's tuple images lazily during predicate
 // evaluation, sharing state and deduplication with every other session.
 func (s *Session) QueryTight(query string) (*Result, error) {
+	return s.QueryTightObs(query, QueryObs{})
+}
+
+// QueryTightObs is QueryTight with per-query observability: a tracer
+// override and, when obs.Profile is set, the rewritten plan's EXPLAIN
+// ANALYZE tree on Result.Profile.
+func (s *Session) QueryTightObs(query string, obs QueryObs) (*Result, error) {
 	if s.closed.Load() {
 		return nil, fmt.Errorf("enrichdb: session is closed")
 	}
 	enrichBefore := s.db.mgr.Counters().EnrichTime
-	drv := &tight.Driver{DB: s.snap, Mgr: s.db.mgr, InvokeOverhead: s.db.TightInvokeOverhead, Tracer: s.db.tracer}
+	prof := newProfiler(obs)
+	drv := &tight.Driver{DB: s.snap, Mgr: s.db.mgr, InvokeOverhead: s.db.TightInvokeOverhead,
+		Tracer: s.obsTracer(obs), Prof: prof}
 	res, err := drv.Execute(query)
 	if err != nil {
 		return nil, err
@@ -415,6 +506,7 @@ func (s *Session) QueryTight(query string) (*Result, error) {
 		Enrichments:    res.Enrichments,
 		UDFInvocations: res.UDFInvocations,
 		Timing:         splitTightTiming(res.DBMS, s.db.mgr.Counters().EnrichTime-enrichBefore),
+		Profile:        profileResult("tight", prof),
 	}, nil
 }
 
