@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke serve-race fuzz tidy staticcheck trace-demo trace-e2e
+.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke bench-adaptive adaptive-race serve-race fuzz tidy staticcheck trace-demo trace-e2e
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
-check: vet staticcheck build test race serve-race trace-e2e bench-smoke bench-serve
+check: vet staticcheck build test race serve-race trace-e2e bench-smoke bench-serve adaptive-race
 
 vet:
 	$(GO) vet ./...
@@ -76,10 +76,11 @@ fuzz:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-# One-iteration pass over the kernel and vector benchmarks: proves the bench
-# harness still compiles and runs without paying full measurement time.
+# One-iteration pass over the kernel, vector and adaptive benchmarks: proves
+# the bench harness still compiles and runs without paying full measurement
+# time.
 bench-smoke:
-	$(GO) test -bench '^Benchmark(Kernel|Vector)' -benchtime 1x -run '^$$' ./internal/bench
+	$(GO) test -bench '^Benchmark(Kernel|Vector|Adaptive)' -benchtime 1x -run '^$$' ./internal/bench
 
 # Re-measure the execution-kernel microbenchmarks and fold the numbers into
 # BENCH_kernel.json under the "current" label (the committed "baseline" label
@@ -154,6 +155,33 @@ bench-serve:
 	$(GO) run ./cmd/loadgen -conns $(SERVE_CONNS) -duration $(SERVE_SECONDS) -rows 256 \
 		| $(GO) run ./cmd/benchjson -label current -out BENCH_serve.json \
 		-note "Wire-protocol serving-tier load test (loadgen): query latency percentiles and mean inter-completion gap; regenerate with \`make bench-serve\` (headline label: SERVE_CONNS=1000 SERVE_SECONDS=5s)."
+
+# Re-measure the adaptive-optimization benchmarks into BENCH_adaptive.json:
+# the /static and /adaptive (and TTQ strategy) sub-benchmarks are the same
+# workload with adaptivity off and on, so the recorded ns/op pairs are the
+# headline comparison. Fixed iteration counts for stable numbers; TTQ's ns/op
+# is the measured time-to-F1-target, excluding env construction.
+ADAPTIVE_BENCHES := \
+	'^BenchmarkAdaptiveFilter$$/static=5x' \
+	'^BenchmarkAdaptiveFilter$$/adaptive=5x' \
+	'^BenchmarkAdaptiveTTQ$$/SBRO=5x' \
+	'^BenchmarkAdaptiveTTQ$$/SBFO=5x' \
+	'^BenchmarkAdaptiveTTQ$$/adaptive=5x'
+
+bench-adaptive:
+	@$(GO) test -c -o .bench-adaptive.test ./internal/bench
+	@{ for p in $(ADAPTIVE_BENCHES); do \
+		./.bench-adaptive.test -test.run '^$$' -test.bench "$${p%=*}" \
+			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
+	done; } | $(GO) run ./cmd/benchjson -label current -out BENCH_adaptive.json \
+		-note "Adaptive optimization (DESIGN §14): pessimally-ordered skew filter with/without cheapest-rejection-first reordering, and progressive time-to-F1 target under SB(RO)/SB(FO)/Adaptive strategies; regenerate with \`make bench-adaptive\`."
+	@rm -f .bench-adaptive.test
+
+# Adaptive equivalence battery under the race detector: the byte-identical
+# contract (adaptive on/off, drift reordering, build-side swaps) and the
+# progressive adaptive-strategy determinism grid.
+adaptive-race:
+	$(GO) test -race -count=1 -run 'TestAdaptive|TestProgressiveAdaptiveStrategy' ./internal/engine ./internal/progressive
 
 tidy:
 	gofmt -l -w .

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchrunner [-exp all|1a|1b|1c|1d|1e|2|3|4|5] [-scale small|medium]
+//	benchrunner [-exp all|1a|1b|1c|1d|1e|2|3|4|5|ablation|adaptive|det|ingest] [-scale small|medium]
 //	            [-metrics] [-trace file]
 //
 // -metrics appends a uniform telemetry counter table per experiment (the
@@ -35,7 +35,7 @@ var tracer *telemetry.Tracer
 var showMetrics bool
 
 func main() {
-	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 1f, 2, 3, 4, 5, ablation, ingest")
+	expFlag := flag.String("exp", "all", "experiment id: all, 1a, 1b, 1c, 1d, 1e, 1f, 2, 3, 4, 5, ablation, adaptive, ingest")
 	scaleFlag := flag.String("scale", "small", "dataset scale: small or medium")
 	metricsFlag := flag.Bool("metrics", true, "print a merged telemetry counter table per experiment")
 	traceFlag := flag.String("trace", "", "write JSONL spans to this file")
@@ -161,6 +161,13 @@ func main() {
 		})
 		ran = true
 	}
+	if want("adaptive") {
+		run("Adaptive optimization", func() ([]*bench.Table, error) {
+			t, err := bench.ExpAdaptive(scale)
+			return []*bench.Table{t}, err
+		})
+		ran = true
+	}
 	if want("det") {
 		run("Determinizer comparison", func() ([]*bench.Table, error) {
 			t, err := bench.DeterminizerComparison(scale)
@@ -178,7 +185,7 @@ func main() {
 		ran = true
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q; use all, 1a, 1b, 1c, 1d, 1e, 2, 3, 4, 5, ablation, det or ingest", *expFlag)
+		log.Fatalf("unknown experiment %q; use all, 1a, 1b, 1c, 1d, 1e, 2, 3, 4, 5, ablation, adaptive, det or ingest", *expFlag)
 	}
 	fmt.Printf("done in %s (scale %s)\n", time.Since(start).Round(time.Millisecond), scale.Name)
 }

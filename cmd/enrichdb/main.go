@@ -66,6 +66,7 @@ import (
 	"enrichdb/internal/harness"
 	"enrichdb/internal/sqlparser"
 	"enrichdb/internal/telemetry"
+	"enrichdb/internal/tight"
 )
 
 func main() {
@@ -197,7 +198,8 @@ func (r *runner) command(line string) (quit bool) {
 	case line == ".quit" || line == ".exit":
 		return true
 	case line == ".help":
-		fmt.Println("enter a SELECT query (prefix with EXPLAIN ANALYZE for an operator profile),")
+		fmt.Println("enter a SELECT query (prefix with EXPLAIN for the annotated plan without")
+		fmt.Println("executing, or EXPLAIN ANALYZE for an operator profile of a real run),")
 		fmt.Println("or: .design loose|tight|plain, .explain <query>, .paper, .stats, .metrics, .quit")
 	case line == ".paper":
 		// Run the paper's nine query templates under the current design.
@@ -243,11 +245,18 @@ func (r *runner) command(line string) (quit bool) {
 
 func (r *runner) exec(q string) error {
 	// EXPLAIN ANALYZE runs the inner SELECT with an operator profiler and
-	// prints the profile tree instead of the rows.
+	// prints the profile tree instead of the rows. Bare EXPLAIN renders the
+	// annotated plan — estimated cardinalities plus any observed
+	// selectivities from the env's stats store — without executing anything.
 	var prof *engine.Profiler
-	if st, err := sqlparser.ParseStatement(q); err == nil && st.ExplainAnalyze {
-		prof = engine.NewProfiler()
-		q = st.Select.String()
+	if st, err := sqlparser.ParseStatement(q); err == nil {
+		if st.ExplainPlan {
+			return r.explainPlan(st.Select.String())
+		}
+		if st.ExplainAnalyze {
+			prof = engine.NewProfiler()
+			q = st.Select.String()
+		}
 	}
 
 	start := time.Now()
@@ -307,6 +316,33 @@ func (r *runner) exec(q string) error {
 	}
 	fmt.Printf("-- %d rows, %d enrichments, %v (%s design)\n",
 		len(rows), enrichments, elapsed.Round(time.Millisecond), r.design)
+	return nil
+}
+
+// explainPlan renders the plan-only EXPLAIN for the current design: the
+// operator tree the optimizer would run (the tight design's UDF-rewritten
+// tree when that design is active), annotated with estimated rows/costs and
+// observed selectivities from the env's runtime-statistics store. Nothing
+// executes — no scans, no enrichment.
+func (r *runner) explainPlan(q string) error {
+	stmt, err := sqlparser.Parse(q)
+	if err != nil {
+		return err
+	}
+	a, err := engine.Analyze(stmt, r.env.Data.DB.Catalog())
+	if err != nil {
+		return err
+	}
+	if r.design == "tight" {
+		if a, err = tight.RewriteAnalysis(a); err != nil {
+			return err
+		}
+	}
+	plan, err := engine.BuildOpt(a, r.env.Data.DB, engine.BuildOptions{Stats: r.env.Stats})
+	if err != nil {
+		return err
+	}
+	fmt.Print(engine.AnnotatedExplain(plan, &engine.CostModel{Store: r.env.Stats}))
 	return nil
 }
 

@@ -33,6 +33,7 @@ import (
 	"enrichdb/internal/loose/remote"
 	"enrichdb/internal/ml"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
@@ -109,6 +110,20 @@ type DB struct {
 	// TightInvokeOverhead adds an artificial per-UDF-call cost to the tight
 	// design, emulating a heavier DBMS's per-row UDF invocation overhead.
 	TightInvokeOverhead time.Duration
+
+	// NoAdaptive disables adaptive cost-based optimization (DESIGN §14):
+	// runtime-statistics feedback, cheapest-rejection-first conjunct
+	// reordering, observed-cardinality join ordering and benefit-ranked
+	// progressive re-planning. With it set, every query runs exactly the
+	// static plan the pre-adaptive engine produced. Ablation knob, mirrors
+	// the NoVectorScan family.
+	NoAdaptive bool
+
+	// runtimeStats is the shared EWMA store every query on this DB feeds and
+	// consults. It carries observations across queries — the feedback loop
+	// that lets a later query start from the selectivities an earlier one
+	// measured.
+	runtimeStats *stats.Store
 }
 
 // Open creates an empty database.
@@ -116,9 +131,10 @@ func Open() *DB {
 	store := storage.NewDB()
 	mgr := enrich.NewManager()
 	return &DB{
-		store:    store,
-		mgr:      mgr,
-		enricher: &loose.LocalEnricher{Mgr: mgr},
+		store:        store,
+		mgr:          mgr,
+		enricher:     &loose.LocalEnricher{Mgr: mgr},
+		runtimeStats: stats.NewStore(),
 	}
 }
 
@@ -454,10 +470,18 @@ func (db *DB) analyzeSQL(query string) (*engine.Analysis, error) {
 
 // looseDriver builds the current loose driver.
 func (db *DB) looseDriver() *loose.Driver {
-	return &loose.Driver{DB: db.store, Mgr: db.mgr, Enricher: db.enricher, Tracer: db.tracer}
+	return &loose.Driver{DB: db.store, Mgr: db.mgr, Enricher: db.enricher, Tracer: db.tracer,
+		Stats: db.runtimeStats, NoAdaptive: db.NoAdaptive}
 }
 
 // tightDriver builds the current tight driver.
 func (db *DB) tightDriver() *tight.Driver {
-	return &tight.Driver{DB: db.store, Mgr: db.mgr, InvokeOverhead: db.TightInvokeOverhead, Tracer: db.tracer}
+	return &tight.Driver{DB: db.store, Mgr: db.mgr, InvokeOverhead: db.TightInvokeOverhead, Tracer: db.tracer,
+		Stats: db.runtimeStats, NoAdaptive: db.NoAdaptive}
 }
+
+// RuntimeStats renders the database's runtime-statistics store — the EWMA
+// selectivities, function costs and operator cardinalities the adaptive
+// optimizer has accumulated (DESIGN §14). Deterministically ordered; empty
+// string before any query ran.
+func (db *DB) RuntimeStats() string { return db.runtimeStats.String() }

@@ -22,6 +22,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/loose"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
 )
@@ -59,6 +60,13 @@ type Env struct {
 	// Tracer, when set, is handed to the drivers this env builds so their
 	// phase spans land in one trace.
 	Tracer *telemetry.Tracer
+	// Stats is the env's shared runtime-statistics store (DESIGN §14),
+	// handed to every driver the env builds so queries feed and consume one
+	// adaptive feedback loop. Set NoAdaptive to ablate.
+	Stats *stats.Store
+	// NoAdaptive disables adaptive optimization on the drivers this env
+	// builds (static plans, no stats feedback).
+	NoAdaptive bool
 }
 
 // Telemetry returns the env's metrics registry (the manager's): every
@@ -90,7 +98,7 @@ func NewEnv(s Scale, specs map[[2]string][]dataset.ModelSpec) (*Env, error) {
 	if err := d.RegisterFamilies(mgr, specs); err != nil {
 		return nil, err
 	}
-	env := &Env{Scale: s, Data: d, Mgr: mgr}
+	env := &Env{Scale: s, Data: d, Mgr: mgr, Stats: stats.NewStore()}
 	if OnEnv != nil {
 		OnEnv(env)
 	}
@@ -114,6 +122,8 @@ func withExtraCost(specs map[[2]string][]dataset.ModelSpec, cost time.Duration) 
 func (e *Env) LooseDriver() *loose.Driver {
 	d := loose.NewDriver(e.Data.DB, e.Mgr)
 	d.Tracer = e.Tracer
+	d.Stats = e.Stats
+	d.NoAdaptive = e.NoAdaptive
 	return d
 }
 
@@ -121,6 +131,8 @@ func (e *Env) LooseDriver() *loose.Driver {
 func (e *Env) TightDriver() *tight.Driver {
 	d := tight.NewDriver(e.Data.DB, e.Mgr)
 	d.Tracer = e.Tracer
+	d.Stats = e.Stats
+	d.NoAdaptive = e.NoAdaptive
 	return d
 }
 

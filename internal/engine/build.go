@@ -5,6 +5,7 @@ import (
 
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/types"
 )
@@ -35,7 +36,19 @@ type BuildOptions struct {
 	NoUDFPullUp bool
 	// NoJoinReorder joins strictly in FROM order.
 	NoJoinReorder bool
+	// Stats, when non-nil, enables cost-based join ordering from observed
+	// cardinalities and selectivities (DESIGN §14). It only ever applies to
+	// queries whose output is canonical under any join order (see
+	// orderInsensitiveOutput); everything else keeps the static greedy
+	// order, so results stay byte-identical with adaptivity off.
+	Stats *stats.Store
+	// NoAdaptive disables cost-based ordering even with Stats set (the
+	// ablation knob mirroring ExecCtx.NoAdaptive).
+	NoAdaptive bool
 }
+
+// adaptiveOn reports whether cost-based build decisions are enabled.
+func (o BuildOptions) adaptiveOn() bool { return o.Stats != nil && !o.NoAdaptive }
 
 // BuildOpt is Build with optimizer toggles.
 func BuildOpt(a *Analysis, db storage.Source, opts BuildOptions) (Plan, error) {
@@ -58,7 +71,16 @@ func BuildOpt(a *Analysis, db storage.Source, opts BuildOptions) (Plan, error) {
 	// loose design even though its join must run as a nested loop.
 	ordered := a
 	if !opts.NoJoinReorder {
-		ordered = a.withTableOrder(orderTables(a))
+		if opts.adaptiveOn() && orderInsensitiveOutput(a) {
+			// Cost-based order from observed cardinalities: same greedy
+			// connectivity tiers, ties broken by estimated post-selection
+			// cardinality instead of FROM order. Gated on queries whose
+			// output canonicalizes (order-insensitive aggregates), so the
+			// result is byte-identical to the static order.
+			ordered = a.withTableOrder(orderTablesCost(a, db, &CostModel{Store: opts.Stats}))
+		} else {
+			ordered = a.withTableOrder(orderTables(a))
+		}
 	}
 
 	leaves := make([]Plan, len(ordered.Tables))

@@ -9,6 +9,7 @@ import (
 
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/types"
 )
@@ -31,6 +32,11 @@ type Stats struct {
 	BatchesBuilt      int64
 	BatchRows         int64
 	BatchFallbackRows int64
+	// Adaptive-path counters: mid-scan conjunct reorders triggered by a
+	// rank flip at a batch boundary, and hash joins that built on the
+	// (smaller) left input instead of the default right side.
+	AdaptiveReorders   int64
+	AdaptiveBuildSwaps int64
 }
 
 // Publish adds the collected counters onto a telemetry registry under the
@@ -50,6 +56,8 @@ func (s *Stats) Publish(add func(name string, delta int64)) {
 	add("engine.batch_built", s.BatchesBuilt)
 	add("engine.batch_rows", s.BatchRows)
 	add("engine.batch_fallback_rows", s.BatchFallbackRows)
+	add("engine.adaptive_reorders", s.AdaptiveReorders)
+	add("engine.adaptive_build_swaps", s.AdaptiveBuildSwaps)
 }
 
 // Pool bounds data-parallel plan execution. It is satisfied by
@@ -95,6 +103,16 @@ type ExecCtx struct {
 	// ANALYZE). Nil — the default — keeps every Execute wrapper on a single
 	// nil-check branch with zero allocations.
 	Prof *Profiler
+	// Adapt, when non-nil, enables adaptive execution (DESIGN §14): filters
+	// reorder their pure conjunct prefix cheapest-rejection-first, hash
+	// joins pick the smaller build side at runtime, and observed
+	// selectivities/cardinalities feed back into the store. Nil — the
+	// default — is the exact pre-adaptive code path.
+	Adapt *stats.Store
+	// NoAdaptive disables adaptive decisions even with Adapt set (ablation
+	// knob, mirrors NoVector): statistics already in the store are neither
+	// consulted nor updated.
+	NoAdaptive bool
 	// vec holds the context's reusable vectorized-scan buffers (snapshot,
 	// batch, bitmaps); lazily built, never shared across goroutines.
 	vec *vecBufs
@@ -218,6 +236,12 @@ type Filter struct {
 	// predicates mutate shared enrichment state and never take the parallel
 	// scan path.
 	hasUDF bool
+	// conjs is the predicate's top-level conjunct list in static order;
+	// conjs[:pureN] is the leading UDF-free prefix the adaptive path may
+	// permute (DESIGN §14) — everything from the first UDF-bearing conjunct
+	// on keeps its order so enrichment side effects stay byte-identical.
+	conjs []expr.Expr
+	pureN int
 	// vec is the predicate compiled to vector kernels, built once on first
 	// vectorized execution (nil after vecOnce fires means not vectorizable).
 	vec     *expr.VecPred
@@ -233,6 +257,13 @@ func NewFilter(child Plan, pred expr.Expr) *Filter {
 			f.hasUDF = true
 		}
 	})
+	f.conjs = expr.Conjuncts(pred)
+	for _, c := range f.conjs {
+		if containsUDF(c) {
+			break
+		}
+		f.pureN++
+	}
 	return f
 }
 
@@ -288,6 +319,10 @@ func (f *Filter) execute(ctx *ExecCtx) ([]*expr.Row, error) {
 // filterInto appends the rows of in that satisfy the predicate to out; out
 // may alias in's prefix (the write index never passes the read index).
 func (f *Filter) filterInto(ctx *ExecCtx, in, out []*expr.Row) ([]*expr.Row, error) {
+	if ctx.adaptiveOn() && f.pureN >= 2 {
+		return f.filterAdaptive(ctx, in, out)
+	}
+	n0 := len(out)
 	for i, r := range in {
 		if i%cancelCheckStride == 0 {
 			if err := ctx.cancelErr(); err != nil {
@@ -301,6 +336,11 @@ func (f *Filter) filterInto(ctx *ExecCtx, in, out []*expr.Row) ([]*expr.Row, err
 		if tv == expr.True {
 			out = append(out, r)
 		}
+	}
+	if ctx.adaptiveOn() && len(in) > 0 {
+		// Not enough pure conjuncts to reorder, but the observed pass rate
+		// still feeds the cost model (EXPLAIN annotations, join ordering).
+		ctx.Adapt.ObservePredicate(predKey(f.Pred), int64(len(in)), int64(len(out)-n0), -1)
 	}
 	return out, nil
 }
@@ -432,7 +472,22 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 	if j.Hash() {
 		ctx.Stats.HashJoins++
 		rOffset := len(j.L.Schema().Cols)
+		if ctx.adaptiveOn() && len(left)*adaptiveBuildSwapFactor <= len(right) {
+			// Runtime build-side selection: both inputs are materialized, so
+			// the cardinalities are exact — build on the clearly smaller
+			// left input. Output order is byte-identical (see
+			// hashJoinBuildLeft); only memory and probe cost move.
+			ctx.Stats.AdaptiveBuildSwaps++
+			swapped, err := j.hashJoinBuildLeft(ctx, left, right, rOffset, condTrue)
+			if err == nil {
+				ctx.Adapt.ObserveOp(j.opKey(), int64(len(left)+len(right)), int64(len(swapped)))
+			}
+			return swapped, err
+		}
 		if fast, ok, err := j.hashJoinInt(ctx, left, right, rOffset); ok {
+			if err == nil && ctx.adaptiveOn() {
+				ctx.Adapt.ObserveOp(j.opKey(), int64(len(left)+len(right)), int64(len(fast)))
+			}
 			return fast, err
 		}
 		ht := make(map[uint64][]*expr.Row, len(right))
@@ -473,6 +528,9 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 				}
 			}
 		}
+		if ctx.adaptiveOn() {
+			ctx.Adapt.ObserveOp(j.opKey(), int64(len(left)+len(right)), int64(len(out)))
+		}
 		return out, nil
 	}
 	ctx.Stats.NLJoins++
@@ -498,6 +556,9 @@ func (j *Join) joinRows(ctx *ExecCtx, left, right []*expr.Row) ([]*expr.Row, err
 				out = append(out, row)
 			}
 		}
+	}
+	if ctx.adaptiveOn() {
+		ctx.Adapt.ObserveOp(j.opKey(), int64(len(left)+len(right)), int64(len(out)))
 	}
 	return out, nil
 }

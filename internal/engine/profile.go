@@ -46,13 +46,23 @@ type OpProfile struct {
 	alloc0   int64
 }
 
-// Selectivity is RowsOut/RowsIn (0 on an empty input) — the observed
-// per-operator selectivity the adaptive planner consumes.
+// Selectivity is RowsOut/RowsIn — the observed per-operator selectivity the
+// adaptive planner consumes. Zero-rows-in operators (an empty input, or a
+// fused path whose rows-in fallback found nothing) report 0 rather than a
+// 0/0 NaN, and a negative rows-in — a broken counter delta — is treated the
+// same way, so no non-finite or out-of-range ratio can leak into profiles
+// or the stats store. The result is always a finite value in [0, 1].
 func (n *OpProfile) Selectivity() float64 {
-	if n.RowsIn == 0 {
+	if n.RowsIn <= 0 || n.RowsOut <= 0 {
 		return 0
 	}
-	return float64(n.RowsOut) / float64(n.RowsIn)
+	sel := float64(n.RowsOut) / float64(n.RowsIn)
+	if sel > 1 {
+		// Rows-in under-attribution (a generator-style operator emitting
+		// more than it consumed) is not a selectivity; clamp.
+		return 1
+	}
+	return sel
 }
 
 // Profiler collects an OpProfile tree during one plan execution. It is not

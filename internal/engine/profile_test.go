@@ -152,3 +152,32 @@ func TestProfilerPhases(t *testing.T) {
 		t.Fatal("nil profiler reported roots")
 	}
 }
+
+// TestSelectivityEdgeCases pins the zero-rows-in contract: Selectivity must
+// be a finite value in [0, 1] for every counter combination the fused paths
+// can produce, including the 0/0 case that used to yield NaN.
+func TestSelectivityEdgeCases(t *testing.T) {
+	cases := []struct {
+		in, out int64
+		want    float64
+	}{
+		{0, 0, 0},    // empty input: the old RowsOut/RowsIn here was NaN
+		{0, 10, 0},   // rows-in fallback found nothing but rows came out
+		{-5, 3, 0},   // broken counter delta
+		{10, -1, 0},  // broken rows-out
+		{10, 0, 0},   // everything rejected
+		{10, 5, 0.5}, // the normal case
+		{10, 10, 1},
+		{10, 25, 1}, // generator-style over-emission clamps
+	}
+	for _, c := range cases {
+		n := &OpProfile{RowsIn: c.in, RowsOut: c.out}
+		got := n.Selectivity()
+		if got != c.want {
+			t.Errorf("Selectivity(in=%d, out=%d) = %v, want %v", c.in, c.out, got, c.want)
+		}
+		if got < 0 || got > 1 || got != got {
+			t.Errorf("Selectivity(in=%d, out=%d) = %v out of [0,1]", c.in, c.out, got)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"enrichdb/internal/enrich"
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
 	"enrichdb/internal/types"
@@ -78,6 +79,13 @@ type Driver struct {
 	// LooseQuery root with probe/enrich/execute phase nodes, the probe and
 	// final plans nested under their phase.
 	Prof *engine.Profiler
+	// Stats, when non-nil, is the shared runtime-statistics store (DESIGN
+	// §14): probe and final plans feed observed selectivities/cardinalities
+	// into it and reorder multi-conjunct filters cheapest-rejection-first.
+	Stats *stats.Store
+	// NoAdaptive disables adaptive reordering even when Stats is set
+	// (ablation knob; stats are still neither read nor written).
+	NoAdaptive bool
 }
 
 // NewDriver builds a loose driver with an in-process enrichment server. The
@@ -104,6 +112,8 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	res := &Result{}
 	ctx := engine.NewExecCtx()
 	ctx.Prof = d.Prof
+	ctx.Adapt = d.Stats
+	ctx.NoAdaptive = d.NoAdaptive
 	before := d.Mgr.Counters().Enrichments
 	qn := d.Prof.Phase("LooseQuery", "")
 

@@ -8,6 +8,7 @@ import (
 
 	"enrichdb/internal/enrich"
 	"enrichdb/internal/expr"
+	"enrichdb/internal/stats"
 )
 
 // The equivalence battery: for a grid of (design × strategy × query), a run
@@ -110,11 +111,19 @@ func summarize(res *Result, before, after enrich.Counters) runSummary {
 // Each call rebuilds dataset, models and manager from the same seeds, so runs
 // are comparable but share no state.
 func equivRun(t *testing.T, design Design, strategy Strategy, query string, workers int, vecOff bool) runSummary {
+	return equivRunAdaptive(t, design, strategy, query, workers, vecOff, false)
+}
+
+// equivRunAdaptive is equivRun with the adaptive dimension explicit: adaptive
+// on attaches a fresh runtime-statistics store (stats feedback + adaptive
+// filter/join execution), off forces NoAdaptive (the pre-adaptive static
+// paths). The Adaptive strategy gets a store either way via Run's default.
+func equivRunAdaptive(t *testing.T, design Design, strategy Strategy, query string, workers int, vecOff, adaptive bool) runSummary {
 	t.Helper()
 	d, mgr := fixture(t)
 	pinCosts(t, mgr)
 	before := mgr.Counters()
-	res, err := Run(Config{
+	cfg := Config{
 		Design:        design,
 		Query:         query,
 		DB:            d.DB,
@@ -127,7 +136,13 @@ func equivRun(t *testing.T, design Design, strategy Strategy, query string, work
 		NoVectorScan:  vecOff,
 		CollectDeltas: true,
 		Quality:       truthQuality(t, d, query),
-	})
+	}
+	if adaptive {
+		cfg.Stats = stats.NewStore()
+	} else if strategy != Adaptive {
+		cfg.NoAdaptive = true
+	}
+	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +189,7 @@ func withoutRows(e epochSummary) epochSummary {
 func TestWorkersEquivalenceGrid(t *testing.T) {
 	const query = "SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 6000"
 	for _, design := range []Design{Loose, Tight} {
-		for _, strategy := range []Strategy{SBOO, SBRO, SBFO, Benefit} {
+		for _, strategy := range []Strategy{SBOO, SBRO, SBFO, Benefit, Adaptive} {
 			design, strategy := design, strategy
 			t.Run(fmt.Sprintf("%s/%s", design, strategy), func(t *testing.T) {
 				t.Parallel()
@@ -187,6 +202,45 @@ func TestWorkersEquivalenceGrid(t *testing.T) {
 				diffSummaries(t, "workers=4/rowpath", base, equivRun(t, design, strategy, query, 4, true))
 			})
 		}
+	}
+}
+
+// TestAdaptiveOnOffEquivalence pins the tentpole's byte-identical contract
+// end to end: attaching a runtime-statistics store (adaptive filter conjunct
+// reordering, build-side swaps, stats feedback) must not change one byte of
+// any run's output — final rows, per-epoch deltas, quality series, or
+// enrichment counters — for any design × strategy × worker count. Only the
+// Adaptive strategy is excluded: its plan ORDER legitimately consumes the
+// store, so for it the test instead pins determinism (two identical adaptive
+// runs agree byte for byte).
+func TestAdaptiveOnOffEquivalence(t *testing.T) {
+	const query = "SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 6000"
+	for _, design := range []Design{Loose, Tight} {
+		for _, strategy := range []Strategy{SBOO, SBFO, Benefit} {
+			design, strategy := design, strategy
+			t.Run(fmt.Sprintf("%s/%s", design, strategy), func(t *testing.T) {
+				t.Parallel()
+				off := equivRunAdaptive(t, design, strategy, query, 1, false, false)
+				if off.Counters.Enrichments == 0 {
+					t.Fatal("baseline ran no enrichments; case is vacuous")
+				}
+				diffSummaries(t, "adaptive-on", off, equivRunAdaptive(t, design, strategy, query, 1, false, true))
+				diffSummaries(t, "adaptive-on/rowpath", off, equivRunAdaptive(t, design, strategy, query, 1, true, true))
+				diffSummaries(t, "adaptive-on/workers=4", off, equivRunAdaptive(t, design, strategy, query, 4, false, true))
+			})
+		}
+	}
+	for _, design := range []Design{Loose, Tight} {
+		design := design
+		t.Run(fmt.Sprintf("%s/Adaptive-deterministic", design), func(t *testing.T) {
+			t.Parallel()
+			a := equivRunAdaptive(t, design, Adaptive, query, 1, false, true)
+			if a.Counters.Enrichments == 0 {
+				t.Fatal("adaptive run enriched nothing")
+			}
+			diffSummaries(t, "adaptive-rerun", a, equivRunAdaptive(t, design, Adaptive, query, 1, false, true))
+			diffSummaries(t, "adaptive-rerun/workers=4", a, equivRunAdaptive(t, design, Adaptive, query, 4, false, true))
+		})
 	}
 }
 

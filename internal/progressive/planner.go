@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"enrichdb/internal/enrich"
+	"enrichdb/internal/stats"
 )
 
 // Strategy selects how the planner picks (tuple, attribute, function)
@@ -38,6 +39,14 @@ const (
 	// spend their budget where another function execution is most likely to
 	// change the answer. Functions are then chosen SB(FO)-style.
 	Benefit
+	// Adaptive extends Benefit with the runtime-statistics feedback loop of
+	// DESIGN §14 (PIQUE's expected-benefit-per-cost): entries are ranked by
+	// entropy × observed answer-impact / observed per-function cost, and the
+	// function choice per attribute maximizes impact-per-cost rather than
+	// static quality-per-cost. Epoch reports feed the observations back, so
+	// the plan re-ranks mid-query as measured costs and impacts drift from
+	// their estimates.
+	Adaptive
 )
 
 // String names the strategy as in the paper.
@@ -51,6 +60,8 @@ func (s Strategy) String() string {
 		return "SB(FO)"
 	case Benefit:
 		return "Benefit"
+	case Adaptive:
+		return "Adaptive"
 	default:
 		return "SB(?)"
 	}
@@ -152,13 +163,24 @@ func (ps *PlanSpace) Compact(mgr *enrich.Manager) int {
 // selection stops when the estimated plan cost reaches the epoch budget (the
 // plan-validity rule of §3.3.2).
 func (ps *PlanSpace) Plan(mgr *enrich.Manager, strategy Strategy, budget time.Duration, rng *rand.Rand) []PlanItem {
+	return ps.PlanStats(mgr, strategy, budget, rng, nil)
+}
+
+// PlanStats is Plan with a runtime-statistics store: the Adaptive strategy
+// ranks entries and functions by the store's observed impact-per-cost
+// (falling back to static estimates where nothing was observed yet). The
+// other strategies ignore the store entirely, so PlanStats(…, nil) ≡ Plan.
+func (ps *PlanSpace) PlanStats(mgr *enrich.Manager, strategy Strategy, budget time.Duration, rng *rand.Rand, st *stats.Store) []PlanItem {
 	if len(ps.entries) == 0 || budget <= 0 {
 		return nil
 	}
 	var order []int
-	if strategy == Benefit {
+	switch strategy {
+	case Benefit:
 		order = ps.benefitOrder(mgr)
-	} else {
+	case Adaptive:
+		order = ps.adaptiveOrder(mgr, st)
+	default:
 		order = rng.Perm(len(ps.entries))
 	}
 	var plan []PlanItem
@@ -172,7 +194,7 @@ func (ps *PlanSpace) Plan(mgr *enrich.Manager, strategy Strategy, budget time.Du
 			break
 		}
 		e := ps.entries[ei]
-		items := ps.pickForEntry(mgr, e, strategy, rng)
+		items := ps.pickForEntry(mgr, e, strategy, rng, st)
 		for _, it := range items {
 			k := tripletKey{it.Alias, it.TID, it.Attr, it.FnID}
 			if seen[k] {
@@ -191,7 +213,7 @@ func (ps *PlanSpace) Plan(mgr *enrich.Manager, strategy Strategy, budget time.Du
 }
 
 // pickForEntry selects this epoch's triplets for one plan-space tuple.
-func (ps *PlanSpace) pickForEntry(mgr *enrich.Manager, e SpaceEntry, strategy Strategy, rng *rand.Rand) []PlanItem {
+func (ps *PlanSpace) pickForEntry(mgr *enrich.Manager, e SpaceEntry, strategy Strategy, rng *rand.Rand, st *stats.Store) []PlanItem {
 	avail := func(attr string) []int {
 		fam := mgr.Family(e.Relation, attr)
 		if fam == nil {
@@ -255,8 +277,110 @@ func (ps *PlanSpace) pickForEntry(mgr *enrich.Manager, e SpaceEntry, strategy St
 			}
 		}
 		return items
+	case Adaptive:
+		// Every attribute advances by the remaining function with the best
+		// observed impact-per-cost (ties break to the lowest function ID, so
+		// plans are deterministic — Adaptive never draws on the rng).
+		var items []PlanItem
+		for _, attr := range e.Attrs {
+			remaining := avail(attr)
+			if len(remaining) == 0 {
+				continue
+			}
+			fam := mgr.Family(e.Relation, attr)
+			bestID, bestScore := -1, math.Inf(-1)
+			for _, id := range remaining {
+				s := fnImpact(st, e.Relation, attr, id) / fnCostNs(st, e.Relation, attr, fam.Functions[id])
+				if s > bestScore {
+					bestScore, bestID = s, id
+				}
+			}
+			items = append(items, PlanItem{Alias: e.Alias, Relation: e.Relation, TID: e.TID, Attr: attr, FnID: bestID})
+		}
+		return items
 	}
 	return nil
+}
+
+// fnCostNs is the Adaptive strategy's cost lookup, in priority order: a
+// pinned estimate (experiments that decouple planning from wall-clock
+// noise), the store's decayed observation, then the function's own measured
+// average. Always ≥ 1ns so it can be divided by.
+func fnCostNs(st *stats.Store, rel, attr string, fn *enrich.Function) float64 {
+	if fn.PinCost && fn.CostEst > 0 {
+		return float64(fn.CostEst.Nanoseconds())
+	}
+	if c, ok := st.FnCostNs(rel, attr, fn.ID); ok && c > 0 {
+		return c
+	}
+	c := float64(fn.AvgCost().Nanoseconds())
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// fnImpact is the observed answer-impact of one function (delta rows per
+// execution, EWMA-decayed), defaulting to 1 before any observation and
+// floored at 0.01 so zero-impact functions still rank by cost rather than
+// collapsing to a single score.
+func fnImpact(st *stats.Store, rel, attr string, fnID int) float64 {
+	if v, ok := st.FnImpact(rel, attr, fnID); ok {
+		if v < 0.01 {
+			return 0.01
+		}
+		return v
+	}
+	return 1
+}
+
+// adaptiveOrder ranks plan-space entries by expected benefit-per-cost: the
+// entry's determinization uncertainty (entropy, as benefitOrder) times the
+// best remaining function's impact-per-cost across its attributes. The sort
+// is stable over the deterministic probe order, so equal scores keep a
+// reproducible order with no rng involved.
+func (ps *PlanSpace) adaptiveOrder(mgr *enrich.Manager, st *stats.Store) []int {
+	type scored struct {
+		idx   int
+		score float64
+	}
+	out := make([]scored, len(ps.entries))
+	for i, e := range ps.entries {
+		stbl := mgr.StateTable(e.Relation)
+		best := 0.0
+		for _, attr := range e.Attrs {
+			fam := mgr.Family(e.Relation, attr)
+			if fam == nil {
+				continue
+			}
+			var ent float64 = 1
+			if stbl != nil {
+				if snap := stbl.OutputSnapshot(e.TID, attr); snap != nil {
+					ent = stateEntropy(&enrich.AttrState{Outputs: snap}, fam.Domain)
+				}
+			}
+			bestFn := 0.0
+			for _, fn := range fam.Functions {
+				k := tripletKey{e.Alias, e.TID, attr, fn.ID}
+				if ps.consumed[k] || mgr.Enriched(e.Relation, e.TID, attr, fn.ID) {
+					continue
+				}
+				if s := fnImpact(st, e.Relation, attr, fn.ID) / fnCostNs(st, e.Relation, attr, fn); s > bestFn {
+					bestFn = s
+				}
+			}
+			if s := ent * bestFn; s > best {
+				best = s
+			}
+		}
+		out[i] = scored{idx: i, score: best}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].score > out[b].score })
+	order := make([]int, len(out))
+	for i, s := range out {
+		order[i] = s.idx
+	}
+	return order
 }
 
 // benefitOrder ranks plan-space entries by decreasing uncertainty of their

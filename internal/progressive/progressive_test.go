@@ -11,6 +11,7 @@ import (
 	"enrichdb/internal/expr"
 	"enrichdb/internal/metrics"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 )
 
 // fixture builds a dataset with multi-function families (the progressive
@@ -128,6 +129,58 @@ func TestProgressiveTightSelection(t *testing.T) {
 	}
 }
 
+// TestProgressiveAdaptiveStrategy: the Adaptive strategy (ranked by entropy ×
+// observed impact / observed cost, re-planned every epoch) must converge to
+// the same final answer as the static strategies, with telemetry flowing
+// into its runtime-statistics store along the way.
+func TestProgressiveAdaptiveStrategy(t *testing.T) {
+	for _, design := range []Design{Loose, Tight} {
+		design := design
+		t.Run(design.String(), func(t *testing.T) {
+			d, mgr := fixture(t)
+			q := "SELECT * FROM TweetData WHERE sentiment = 1 AND TweetTime < 6000"
+			st := stats.NewStore()
+			res, err := Run(Config{
+				Design:      design,
+				Query:       q,
+				DB:          d.DB,
+				Mgr:         mgr,
+				Strategy:    Adaptive,
+				EpochBudget: 3 * time.Millisecond,
+				MaxEpochs:   300,
+				Seed:        5,
+				Stats:       st,
+				Quality:     truthQuality(t, d, q),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.TotalEnrichments == 0 {
+				t.Fatal("adaptive run enriched nothing")
+			}
+			qn := res.Quality[len(res.Quality)-1]
+			if qn < 0.5 {
+				t.Errorf("final F1 %.3f too low under Adaptive", qn)
+			}
+			// The final view must match a from-scratch re-execution.
+			plainA, _ := engine.Analyze(sqlparser.MustParse(q), d.DB.Catalog())
+			plan, _ := engine.Build(plainA, d.DB)
+			rows, _ := plan.Execute(engine.NewExecCtx())
+			if len(rows) != len(res.Rows) {
+				t.Errorf("view rows %d vs re-execution %d", len(res.Rows), len(rows))
+			}
+			// Epoch feedback must have landed: the sentiment family's cost
+			// and impact are observable after the run.
+			if _, ok := st.FnImpact("TweetData", "sentiment", 0); !ok {
+				t.Errorf("no observed impact for TweetData.sentiment; store:\n%s", st.String())
+			}
+			if _, ok := st.FnCostNs("TweetData", "sentiment", 0); !ok {
+				t.Errorf("no observed cost for TweetData.sentiment; store:\n%s", st.String())
+			}
+		})
+	}
+}
+
 func TestTightSavesEnrichmentsProgressively(t *testing.T) {
 	q := "SELECT * FROM MultiPie WHERE gender = 1 AND expression = 2 AND CameraID < 8"
 	dL, mgrL := fixture(t)
@@ -240,17 +293,17 @@ func TestStrategyTripletShapes(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 
 	// SB(OO): all three sentiment functions at once.
-	oo := space.pickForEntry(mgr, entry, SBOO, rng)
+	oo := space.pickForEntry(mgr, entry, SBOO, rng, nil)
 	if len(oo) != 3 {
 		t.Errorf("SB(OO) planned %d functions, want all 3", len(oo))
 	}
 	// SB(RO): exactly one.
-	ro := space.pickForEntry(mgr, entry, SBRO, rng)
+	ro := space.pickForEntry(mgr, entry, SBRO, rng, nil)
 	if len(ro) != 1 {
 		t.Errorf("SB(RO) planned %d functions, want 1", len(ro))
 	}
 	// SB(FO): one per attribute, the best quality/cost first.
-	fo := space.pickForEntry(mgr, entry, SBFO, rng)
+	fo := space.pickForEntry(mgr, entry, SBFO, rng, nil)
 	if len(fo) != 1 {
 		t.Fatalf("SB(FO) planned %d functions, want 1", len(fo))
 	}

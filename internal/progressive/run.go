@@ -15,6 +15,7 @@ import (
 	"enrichdb/internal/ivm"
 	"enrichdb/internal/loose"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
@@ -86,6 +87,18 @@ type Config struct {
 	// throughput knob — output is byte-identical either way (enforced by the
 	// equivalence battery) — kept for ablations and as an escape hatch.
 	NoVectorScan bool
+
+	// Stats is the runtime-statistics store feeding the adaptive layer
+	// (DESIGN §14): epoch reports write per-function observed costs and
+	// answer-impacts into it, the Adaptive strategy plans from it, and the
+	// engine contexts this run builds reorder filter conjuncts with it. Nil
+	// with Strategy == Adaptive auto-creates a run-local store; nil otherwise
+	// leaves the engine static.
+	Stats *stats.Store
+	// NoAdaptive disables all adaptive behavior regardless of Stats (ablation
+	// knob, mirrors NoVectorScan): static plans, no feedback, and the
+	// Adaptive strategy degrades to Benefit's static cost estimates.
+	NoAdaptive bool
 
 	// PerRowUDF disables the tight runtime's micro-batching, so every
 	// read_udf call pays InvokeOverhead individually — the paper's per-row
@@ -235,6 +248,11 @@ func Run(cfg Config) (*Result, error) {
 	if rng == nil {
 		rng = rand.New(rand.NewSource(cfg.Seed + 7))
 	}
+	if cfg.NoAdaptive {
+		cfg.Stats = nil
+	} else if cfg.Stats == nil && cfg.Strategy == Adaptive {
+		cfg.Stats = stats.NewStore()
+	}
 
 	spAnalyze := cfg.Tracer.Start("query.analyze").Str("design", cfg.Design.String())
 	stmt, err := sqlparser.Parse(cfg.Query)
@@ -253,6 +271,8 @@ func Run(cfg Config) (*Result, error) {
 	countersBefore := cfg.Mgr.Counters()
 	ctx := engine.NewExecCtx()
 	ctx.NoVector = cfg.NoVectorScan
+	ctx.Adapt = cfg.Stats
+	ctx.NoAdaptive = cfg.NoAdaptive
 	if !cfg.NoParallelScan && cfg.Workers > 1 {
 		// The epoch scheduler doubles as the engine's scan pool, so plan
 		// execution and enrichment share one worker budget.
@@ -346,7 +366,7 @@ func Run(cfg Config) (*Result, error) {
 
 		planStart := time.Now()
 		spPlan := cfg.Tracer.Start("epoch.plan").Epoch(epoch)
-		plan := space.Plan(cfg.Mgr, cfg.Strategy, budget, rng)
+		plan := space.PlanStats(cfg.Mgr, cfg.Strategy, budget, rng, cfg.Stats)
 		rep.PlanTime = time.Since(planStart)
 		rep.Planned = len(plan)
 		rep.PlanTableBytes = PlanSizeBytes(plan)
@@ -455,6 +475,13 @@ func Run(cfg Config) (*Result, error) {
 		rep.DeltaTime = time.Since(deltaStart)
 		res.Overhead.Delta += rep.DeltaTime
 
+		// Close the feedback loop (DESIGN §14): fold this epoch's observed
+		// per-function costs and its answer impact into the stats store the
+		// next epoch plans from.
+		if cfg.Stats != nil {
+			observeEpochStats(cfg.Stats, cfg.Mgr, plan, &rep)
+		}
+
 		rep.Wall = time.Since(epochStart)
 		record()
 		rep.Quality = res.Quality[len(res.Quality)-1]
@@ -484,6 +511,42 @@ func Run(cfg Config) (*Result, error) {
 		res.UDFPayments, res.UDFCoalesced = pay-payBefore, coal-coalBefore
 	}
 	return res, nil
+}
+
+// observeEpochStats feeds one epoch's measurements into the stats store: per
+// distinct planned (relation, attr, function) the function's cumulative mean
+// cost and run count, and the epoch's answer impact — delta rows produced
+// per function executed — attributed to every target the epoch advanced.
+// Impact is computed from deterministic counts, so Adaptive plans stay
+// reproducible wherever costs are pinned.
+func observeEpochStats(st *stats.Store, mgr *enrich.Manager, plan []PlanItem, rep *EpochReport) {
+	type key struct {
+		rel  string
+		attr string
+		fn   int
+	}
+	seen := make(map[key]bool)
+	executed := rep.Executed
+	if executed < 1 {
+		executed = 1
+	}
+	impact := float64(rep.Inserted+rep.Deleted) / float64(executed)
+	for _, it := range plan {
+		k := key{it.Relation, it.Attr, it.FnID}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		fam := mgr.Family(it.Relation, it.Attr)
+		if fam == nil || it.FnID < 0 || it.FnID >= len(fam.Functions) {
+			continue
+		}
+		fn := fam.Functions[it.FnID]
+		if runs, total := fn.Stats(); runs > 0 {
+			st.ObserveFnCost(it.Relation, it.Attr, it.FnID, float64(total.Nanoseconds())/float64(runs), runs)
+		}
+		st.ObserveFnImpact(it.Relation, it.Attr, it.FnID, impact)
+	}
 }
 
 // currentRows returns the rows to score quality on.
@@ -679,6 +742,8 @@ func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis,
 
 	ectx := engine.NewExecCtx()
 	ectx.NoVector = cfg.NoVectorScan
+	ectx.Adapt = cfg.Stats
+	ectx.NoAdaptive = cfg.NoAdaptive
 	ectx.Eval.Runtime = rt
 
 	for _, tm := range rwa.Tables {
@@ -692,10 +757,25 @@ func runTightEpoch(cfg Config, sched *enrich.Scheduler, a, rwa *engine.Analysis,
 		}
 		rs := expr.SchemaForTable(tm.Alias, tm.Schema)
 		tids := make([]int64, 0, len(tidMap))
-		for tid := range tidMap {
-			tids = append(tids, tid)
+		if cfg.Strategy == Adaptive {
+			// The Adaptive plan ranks tuples by expected benefit-per-cost;
+			// evaluate them in that order so a budget-cut epoch spent its
+			// read_udf work on the highest-benefit tuples first. The plan
+			// order is deterministic (no rng), so join input stays identical
+			// at every worker count.
+			seen := make(map[int64]bool, len(tidMap))
+			for _, it := range plan {
+				if it.Alias == tm.Alias && !seen[it.TID] {
+					seen[it.TID] = true
+					tids = append(tids, it.TID)
+				}
+			}
+		} else {
+			for tid := range tidMap {
+				tids = append(tids, tid)
+			}
+			sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 		}
-		sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
 		var rows []*expr.Row
 		for _, tid := range tids {
 			if tu := tbl.Get(tid); tu != nil {

@@ -192,6 +192,47 @@ func TestExplainAnalyzeOverWire(t *testing.T) {
 	}
 }
 
+// TestExplainPlanOverWire checks plan-only EXPLAIN (no ANALYZE): the server
+// returns the annotated operator tree as a "plan" text column without
+// executing the query — zero enrichments, zero UDF calls, no profile frame.
+func TestExplainPlanOverWire(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	_, _, addr := start(t, 40, nil, nil)
+	c, err := client.Dial(addr, client.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sql := "EXPLAIN SELECT id, label FROM events WHERE label = 1"
+	for _, design := range []wire.Design{wire.DesignPlain, wire.DesignLoose, wire.DesignTight, wire.DesignProgressive} {
+		res, err := c.Query(context.Background(), design, sql)
+		if err != nil {
+			t.Fatalf("%s: %v", design, err)
+		}
+		if len(res.Columns) != 1 || res.Columns[0] != "plan" {
+			t.Fatalf("%s: columns = %v, want [plan]", design, res.Columns)
+		}
+		if len(res.Rows) == 0 {
+			t.Fatalf("%s: EXPLAIN returned no plan lines", design)
+		}
+		text := ""
+		for _, row := range res.Rows {
+			text += row[0].String() + "\n"
+		}
+		if !strings.Contains(text, "est_rows=") || !strings.Contains(text, "est_cost=") {
+			t.Fatalf("%s: plan lines missing cost annotations:\n%s", design, text)
+		}
+		if res.Enrichments != 0 || res.UDFCalls != 0 {
+			t.Fatalf("%s: plan-only EXPLAIN executed work: enrichments=%d udf=%d",
+				design, res.Enrichments, res.UDFCalls)
+		}
+		if res.Profile != nil {
+			t.Fatalf("%s: plan-only EXPLAIN sent an execution profile", design)
+		}
+	}
+}
+
 // TestSlowQueryLog drives one query over a threshold of 1ns so it must be
 // logged, then checks the JSONL record's shape.
 func TestSlowQueryLog(t *testing.T) {

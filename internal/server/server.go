@@ -732,9 +732,19 @@ func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql 
 	start := time.Now()
 	defer func() { c.observeLatency(time.Since(start)) }()
 	explain := false
-	if st, perr := sqlparser.ParseStatement(sql); perr == nil && st.ExplainAnalyze {
-		explain = true
-		sql = st.Select.String()
+	if st, perr := sqlparser.ParseStatement(sql); perr == nil {
+		if st.ExplainPlan {
+			// Plan-only EXPLAIN: render the annotated operator tree without
+			// executing — no scans, no enrichment, zero result-side effects.
+			// The tree is the plain (unrewritten) plan regardless of the
+			// requested design.
+			c.runExplainPlan(ctx, id, st.Select.String(), start)
+			return
+		}
+		if st.ExplainAnalyze {
+			explain = true
+			sql = st.Select.String()
+		}
 	}
 	var collect *telemetry.CollectSink
 	qtr := c.s.cfg.Tracer.WithTrace(traceID)
@@ -848,6 +858,28 @@ func (c *conn) runQuery(ctx context.Context, id uint32, design wire.Design, sql 
 		Rows: uint64(numRows), Enrichments: done.Enrichments, UDFCalls: done.UDFCalls,
 		Epochs: done.Epochs, Trace: telemetry.FormatTraceID(traceID), Profile: prof.String(),
 	}, wall)
+}
+
+// runExplainPlan answers a plan-only `EXPLAIN SELECT ...`: the result set is
+// the annotated plan tree (one "plan" column), produced without executing
+// the query — ResultDone reports zero enrichments and zero UDF calls.
+func (c *conn) runExplainPlan(ctx context.Context, id uint32, sql string, start time.Time) {
+	plan, err := c.sess.ExplainPlan(sql)
+	if err != nil {
+		c.queryError(ctx, id, err)
+		return
+	}
+	lines := strings.Split(strings.TrimRight(plan, "\n"), "\n")
+	at := func(i int) []enrichdb.Value { return []enrichdb.Value{types.NewString(lines[i])} }
+	if err := c.streamRows(ctx, id, []string{"plan"}, len(lines), at); err != nil {
+		if ctx.Err() != nil {
+			c.queryError(ctx, id, err)
+		}
+		return
+	}
+	done := wire.ResultDone{Query: id, Rows: uint64(len(lines)), WallNs: time.Since(start).Nanoseconds()}
+	c.write(&done)
+	c.s.reg.Counter("serve.queries_done").Add(1)
 }
 
 // countReader counts consumed bytes, letting the serve loop distinguish a

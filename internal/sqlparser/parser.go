@@ -168,7 +168,11 @@ func Parse(input string) (*SelectStmt, error) {
 // instead of the rows).
 type Statement struct {
 	ExplainAnalyze bool
-	Select         *SelectStmt
+	// ExplainPlan marks a plan-only `EXPLAIN SELECT ...` (no ANALYZE): the
+	// front end renders the chosen operator tree annotated with estimated
+	// costs and observed selectivities without executing the query.
+	ExplainPlan bool
+	Select      *SelectStmt
 }
 
 // String re-renders the statement in canonical form.
@@ -176,10 +180,13 @@ func (s *Statement) String() string {
 	if s.ExplainAnalyze {
 		return "EXPLAIN ANALYZE " + s.Select.String()
 	}
+	if s.ExplainPlan {
+		return "EXPLAIN " + s.Select.String()
+	}
 	return s.Select.String()
 }
 
-// ParseStatement parses `[EXPLAIN ANALYZE] SELECT ...`. Parse stays
+// ParseStatement parses `[EXPLAIN [ANALYZE]] SELECT ...`. Parse stays
 // SELECT-only — existing callers (the planner, the fuzz round-trip) are
 // unaffected; statement-level front ends (server, REPL) use this entry.
 func ParseStatement(input string) (*Statement, error) {
@@ -190,10 +197,11 @@ func ParseStatement(input string) (*Statement, error) {
 	p := &parser{toks: toks}
 	st := &Statement{}
 	if p.accept(tokKeyword, "EXPLAIN") {
-		if _, err := p.expect(tokKeyword, "ANALYZE"); err != nil {
-			return nil, err
+		if p.accept(tokKeyword, "ANALYZE") {
+			st.ExplainAnalyze = true
+		} else {
+			st.ExplainPlan = true
 		}
-		st.ExplainAnalyze = true
 	}
 	sel, err := p.parseSelect()
 	if err != nil {

@@ -1,0 +1,60 @@
+package sqlparser
+
+import "testing"
+
+// TestParseStatementExplainForms pins the statement-level EXPLAIN grammar:
+// bare EXPLAIN is plan-only, EXPLAIN ANALYZE executes — the two flags are
+// mutually exclusive and both render back canonically.
+func TestParseStatementExplainForms(t *testing.T) {
+	cases := []struct {
+		in           string
+		plan, analyz bool
+		canon        string
+	}{
+		{"SELECT * FROM T", false, false, "SELECT * FROM T"},
+		{"EXPLAIN SELECT * FROM T", true, false, "EXPLAIN SELECT * FROM T"},
+		{"explain select * from T", true, false, "EXPLAIN SELECT * FROM T"},
+		{"EXPLAIN ANALYZE SELECT * FROM T", false, true, "EXPLAIN ANALYZE SELECT * FROM T"},
+		{"EXPLAIN SELECT a, count(*) FROM T WHERE a < 3 GROUP BY a", true, false,
+			"EXPLAIN SELECT a, count(*) FROM T WHERE a < 3 GROUP BY a"},
+	}
+	for _, c := range cases {
+		st, err := ParseStatement(c.in)
+		if err != nil {
+			t.Fatalf("ParseStatement(%q): %v", c.in, err)
+		}
+		if st.ExplainPlan != c.plan || st.ExplainAnalyze != c.analyz {
+			t.Errorf("ParseStatement(%q): ExplainPlan=%v ExplainAnalyze=%v, want %v/%v",
+				c.in, st.ExplainPlan, st.ExplainAnalyze, c.plan, c.analyz)
+		}
+		if st.ExplainPlan && st.ExplainAnalyze {
+			t.Errorf("ParseStatement(%q): both explain flags set", c.in)
+		}
+		if got := st.String(); got != c.canon {
+			t.Errorf("ParseStatement(%q).String() = %q, want %q", c.in, got, c.canon)
+		}
+		// Round-trip: the canonical form parses back to the same flags.
+		rt, err := ParseStatement(st.String())
+		if err != nil {
+			t.Fatalf("round-trip ParseStatement(%q): %v", st.String(), err)
+		}
+		if rt.ExplainPlan != st.ExplainPlan || rt.ExplainAnalyze != st.ExplainAnalyze {
+			t.Errorf("round-trip of %q changed explain flags", c.in)
+		}
+	}
+}
+
+// TestParseStatementErrors: EXPLAIN needs a SELECT after it, and trailing
+// garbage is rejected at the statement level too.
+func TestParseStatementErrors(t *testing.T) {
+	for _, q := range []string{
+		"EXPLAIN",
+		"EXPLAIN ANALYZE",
+		"EXPLAIN EXPLAIN SELECT * FROM T",
+		"SELECT * FROM T garbage ,",
+	} {
+		if _, err := ParseStatement(q); err == nil {
+			t.Errorf("ParseStatement(%q) succeeded, want error", q)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"enrichdb/internal/enrich"
 	"enrichdb/internal/expr"
 	"enrichdb/internal/sqlparser"
+	"enrichdb/internal/stats"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
 )
@@ -46,6 +47,13 @@ type Driver struct {
 	// Prof, when non-nil, collects the EXPLAIN ANALYZE operator tree of the
 	// rewritten plan (UDF-wrapped predicates show up as Filter nodes).
 	Prof *engine.Profiler
+	// Stats, when non-nil, is the shared runtime-statistics store (DESIGN
+	// §14): execution feeds observed selectivities and cardinalities into it,
+	// and the executor reorders pure conjunct prefixes cheapest-rejection-
+	// first. UDF-bearing conjuncts keep their static order.
+	Stats *stats.Store
+	// NoAdaptive disables adaptive behavior even when Stats is set.
+	NoAdaptive bool
 }
 
 // NewDriver builds a tight driver over a live database or a snapshot.
@@ -74,7 +82,12 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	plan, err := engine.BuildOpt(rewritten, d.DB, d.BuildOptions)
+	bo := d.BuildOptions
+	if bo.Stats == nil {
+		bo.Stats = d.Stats
+	}
+	bo.NoAdaptive = bo.NoAdaptive || d.NoAdaptive
+	plan, err := engine.BuildOpt(rewritten, d.DB, bo)
 	if err != nil {
 		return nil, err
 	}
@@ -83,6 +96,8 @@ func (d *Driver) ExecuteAnalyzed(a *engine.Analysis) (*Result, error) {
 	rt.BatchUDF = d.BatchUDF
 	ctx := engine.NewExecCtx()
 	ctx.Prof = d.Prof
+	ctx.Adapt = d.Stats
+	ctx.NoAdaptive = d.NoAdaptive
 	ctx.Eval.Runtime = rt
 	// Stored tuples are immutable; rows must own their values so read_udf
 	// can patch freshly determined derived values into rows mid-plan (the

@@ -33,6 +33,13 @@ const (
 	// goes where another function execution is most likely to change the
 	// answer.
 	BenefitOrdered
+	// AdaptiveOrdered closes the loop from observed execution back to
+	// planning (DESIGN §14): tuples are ranked by entropy × observed
+	// answer-impact / observed per-function cost, and each attribute
+	// advances by the function with the best measured impact-per-cost. The
+	// ranking re-evaluates every epoch from the database's runtime-statistics
+	// store, so the plan adapts mid-query as costs and impacts drift.
+	AdaptiveOrdered
 )
 
 // ProgressiveOptions parameterizes QueryProgressive. The zero value uses
@@ -70,6 +77,11 @@ type ProgressiveOptions struct {
 	// Profile, when set, synthesizes the run's phase-level EXPLAIN ANALYZE
 	// tree (setup/plan/enrich/UDF/refresh) on ProgressiveResult.Profile.
 	Profile bool
+	// NoAdaptive disables adaptive optimization for this run regardless of
+	// the database's runtime-statistics store: static engine plans, no stats
+	// feedback, and AdaptiveOrdered degrades to static cost estimates.
+	// Ablation knob (DESIGN §14).
+	NoAdaptive bool
 }
 
 // Epoch is one epoch's telemetry.
@@ -209,6 +221,8 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		CollectDeltas:  true, // backs OnDelta and DeltaSince
 		Tracer:         tracer,
 		Cancel:         opts.Cancel,
+		Stats:          db.runtimeStats,
+		NoAdaptive:     db.NoAdaptive || opts.NoAdaptive,
 	}
 	if opts.OnEpoch != nil {
 		cfg.OnEpoch = func(ep progressive.EpochReport) { opts.OnEpoch(wrapEpoch(ep)) }

@@ -91,7 +91,10 @@ func (db *DB) Query(query string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	rows, err := plan.Execute(engine.NewExecCtx())
+	ctx := engine.NewExecCtx()
+	ctx.Adapt = db.runtimeStats
+	ctx.NoAdaptive = db.NoAdaptive
+	rows, err := plan.Execute(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -182,4 +185,27 @@ func (db *DB) Explain(query string) (string, error) {
 // the UDF-wrapped conditions and the join strategies the optimizer chose.
 func (db *DB) ExplainTight(query string) (string, error) {
 	return db.tightDriver().Explain(query)
+}
+
+// ExplainPlan returns the plan-only EXPLAIN (no ANALYZE) for a query: the
+// operator tree the adaptive optimizer would run, annotated with estimated
+// cardinalities/costs from the cost model and — where this database's
+// runtime-statistics store has observed a predicate before — decayed
+// observed selectivities. Nothing executes: no scans, no enrichment.
+// `EXPLAIN SELECT ...` through the REPL and wire protocol renders the same
+// tree.
+func (db *DB) ExplainPlan(query string) (string, error) {
+	a, err := db.analyzeSQL(query)
+	if err != nil {
+		return "", err
+	}
+	st := db.runtimeStats
+	if db.NoAdaptive {
+		st = nil
+	}
+	plan, err := engine.BuildOpt(a, db.store, engine.BuildOptions{Stats: st, NoAdaptive: db.NoAdaptive})
+	if err != nil {
+		return "", err
+	}
+	return engine.AnnotatedExplain(plan, &engine.CostModel{Store: st}), nil
 }

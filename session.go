@@ -386,6 +386,31 @@ func (s *Session) Query(query string) (*Rows, error) {
 	return s.QueryCtx(context.Background(), query)
 }
 
+// ExplainPlan renders the plan-only EXPLAIN (no ANALYZE) for a query
+// against the session's snapshot: the operator tree the adaptive optimizer
+// would run, annotated with estimated rows/costs and any observed
+// selectivities from the database's runtime-statistics store. Nothing
+// executes — no scans, no enrichment. `EXPLAIN SELECT ...` over the wire
+// protocol renders this tree.
+func (s *Session) ExplainPlan(query string) (string, error) {
+	if s.closed.Load() {
+		return "", fmt.Errorf("enrichdb: session is closed")
+	}
+	a, err := s.db.analyzeSQL(query)
+	if err != nil {
+		return "", err
+	}
+	st := s.db.runtimeStats
+	if s.db.NoAdaptive {
+		st = nil
+	}
+	plan, err := engine.BuildOpt(a, s.snap, engine.BuildOptions{Stats: st, NoAdaptive: s.db.NoAdaptive})
+	if err != nil {
+		return "", err
+	}
+	return engine.AnnotatedExplain(plan, &engine.CostModel{Store: st}), nil
+}
+
 // QueryCtx is Query with cancellation: the executor polls ctx's Done channel
 // between batches of work and aborts with ctx.Err() once it fires, so a long
 // scan, filter or join can be killed mid-flight.
@@ -411,6 +436,8 @@ func (s *Session) QueryObsCtx(ctx context.Context, query string, obs QueryObs) (
 	}
 	ec := engine.NewExecCtx()
 	ec.Done = ctx.Done()
+	ec.Adapt = s.db.runtimeStats
+	ec.NoAdaptive = s.db.NoAdaptive
 	prof := newProfiler(obs)
 	ec.Prof = prof
 	sp := s.obsTracer(obs).Start("plain.execute")
@@ -443,7 +470,8 @@ func (s *Session) QueryLooseObs(query string, obs QueryObs) (*Result, error) {
 	}
 	prof := newProfiler(obs)
 	drv := &loose.Driver{DB: s.snap, Mgr: s.db.mgr, Enricher: s.db.enricher,
-		Tracer: s.obsTracer(obs), Prof: prof}
+		Tracer: s.obsTracer(obs), Prof: prof,
+		Stats: s.db.runtimeStats, NoAdaptive: s.db.NoAdaptive}
 	res, err := drv.Execute(query)
 	if err != nil {
 		return nil, err
@@ -488,7 +516,8 @@ func (s *Session) QueryTightObs(query string, obs QueryObs) (*Result, error) {
 	enrichBefore := s.db.mgr.Counters().EnrichTime
 	prof := newProfiler(obs)
 	drv := &tight.Driver{DB: s.snap, Mgr: s.db.mgr, InvokeOverhead: s.db.TightInvokeOverhead,
-		Tracer: s.obsTracer(obs), Prof: prof}
+		Tracer: s.obsTracer(obs), Prof: prof,
+		Stats: s.db.runtimeStats, NoAdaptive: s.db.NoAdaptive}
 	res, err := drv.Execute(query)
 	if err != nil {
 		return nil, err
