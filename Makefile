@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke bench-adaptive adaptive-race serve-race fuzz tidy staticcheck trace-demo trace-e2e
+.PHONY: check vet build test race test-race soak serve-soak bench bench-kernel bench-vector bench-serve bench-smoke bench-adaptive bench-shard adaptive-race serve-race shard-race fuzz tidy staticcheck trace-demo trace-e2e
 
 # Tier-1 gate: everything a PR must keep green. staticcheck rides along but
 # skips itself when the binary is absent.
-check: vet staticcheck build test race serve-race trace-e2e bench-smoke bench-serve adaptive-race
+check: vet staticcheck build test race serve-race trace-e2e bench-smoke bench-serve adaptive-race shard-race
 
 vet:
 	$(GO) vet ./...
@@ -66,12 +66,22 @@ serve-soak:
 	$(GO) test -race -count=$$(( $(SOAK_SECONDS) / 5 + 1 )) -timeout $$(( $(SOAK_SECONDS) + 300 ))s \
 		-run 'TestChaos|TestDrainUnderLoad' ./internal/server
 
-# Short fuzz pass over the SQL parser (no panics; print/parse round-trip)
-# and the wire-protocol frame codec (decode/encode round-trip, truncation
-# and mutation safety, seeded from the checked-in corpus).
+# Sharded equivalence battery and the shard package's partition/fleet/store
+# suites under the race detector: byte-identical sharded≡unsharded output,
+# routing, rebalance, work stealing, hedging and failover.
+shard-race:
+	$(GO) test -race -count=1 -run 'TestShardEquivalence' . \
+		&& $(GO) test -race -count=1 ./internal/shard/...
+
+# Short fuzz pass over the SQL parser (no panics; print/parse round-trip),
+# the wire-protocol frame codec (decode/encode round-trip, truncation and
+# mutation safety, seeded from the checked-in corpus), and the shard router
+# (hash/range totality, ±0.0 and NaN parity with the engine hasher, route
+# stability under rebalance).
 fuzz:
 	$(GO) test -fuzz FuzzParse -fuzztime 30s ./internal/sqlparser
 	$(GO) test -fuzz FuzzFrame -fuzztime 30s ./internal/wire
+	$(GO) test -fuzz FuzzPartition -fuzztime 30s ./internal/shard
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
@@ -176,6 +186,29 @@ bench-adaptive:
 	done; } | $(GO) run ./cmd/benchjson -label current -out BENCH_adaptive.json \
 		-note "Adaptive optimization (DESIGN §14): pessimally-ordered skew filter with/without cheapest-rejection-first reordering, and progressive time-to-F1 target under SB(RO)/SB(FO)/Adaptive strategies; regenerate with \`make bench-adaptive\`."
 	@rm -f .bench-adaptive.test
+
+# Re-measure the sharding benchmarks into BENCH_shard.json: scatter-gather
+# scan over 1/2/4/8 shard replicas (same rows, same filter, byte-identical
+# merged output) and the enrichment fleet's hedged-request tail — identical
+# batches against a fleet with one 10×-slow server, hedging on vs off; the
+# p99-ns metric pair is the headline (hedging clips the straggler's tail).
+# Same process-isolation discipline as bench-kernel.
+SHARD_BENCHES := \
+	'^BenchmarkShardScan$$/^shards=1$$=30x' \
+	'^BenchmarkShardScan$$/^shards=2$$=30x' \
+	'^BenchmarkShardScan$$/^shards=4$$=30x' \
+	'^BenchmarkShardScan$$/^shards=8$$=30x' \
+	'^BenchmarkShardHedgeTail$$/hedged=50x' \
+	'^BenchmarkShardHedgeTail$$/nohedge=50x'
+
+bench-shard:
+	@$(GO) test -c -o .bench-shard.test ./internal/bench
+	@{ for p in $(SHARD_BENCHES); do \
+		./.bench-shard.test -test.run '^$$' -test.bench "$${p%=*}" \
+			-test.benchtime "$${p##*=}" -test.benchmem || exit 1; \
+	done; } | $(GO) run ./cmd/benchjson -label current -out BENCH_shard.json \
+		-note "Sharding (DESIGN §15): scatter-gather scan scaling across shard counts and the enrichment fleet's hedged-tail p99 vs no-hedge with one 10x-slow server; regenerate with \`make bench-shard\`."
+	@rm -f .bench-shard.test
 
 # Adaptive equivalence battery under the race detector: the byte-identical
 # contract (adaptive on/off, drift reordering, build-side swaps) and the

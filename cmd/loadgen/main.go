@@ -53,9 +53,10 @@ func main() {
 	addr := flag.String("addr", "", "target server (empty = start one in-process)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	sample := flag.Int("sample", 8, "send every Nth query with the trace sampling flag (0 = never)")
+	shards := flag.Int("shards", 1, "shard replicas for the in-process server's store (1 = unsharded)")
 	flag.Parse()
 
-	if err := run(*conns, *duration, *rows, *tenants, *designFlag, *addr, *seed, *sample); err != nil {
+	if err := run(*conns, *duration, *rows, *tenants, *designFlag, *addr, *seed, *sample, *shards); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -75,7 +76,7 @@ func pickDesign(name string, i int) (wire.Design, error) {
 	}
 }
 
-func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr string, seed int64, sample int) error {
+func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr string, seed int64, sample, nshards int) error {
 	if tenants < 1 {
 		tenants = 1
 	}
@@ -91,7 +92,7 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 
 	var srv *server.Server
 	if addr == "" {
-		db, err := servedb.New(rows, seed, nil)
+		db, err := servedb.NewSharded(rows, seed, nil, nshards)
 		if err != nil {
 			return err
 		}
@@ -109,7 +110,8 @@ func run(conns int, duration time.Duration, rows, tenants int, designFlag, addr 
 		}
 		defer srv.Close()
 		addr = srv.Addr().String()
-		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s (%d rows, seed %d)\n", addr, rows, seed)
+		fmt.Fprintf(os.Stderr, "loadgen: in-process server on %s (%d rows, seed %d, %d shard(s))\n",
+			addr, rows, seed, db.Shards())
 	}
 
 	// Connect everyone first so the measurement window only sees steady

@@ -92,7 +92,7 @@ type Classifier = ml.Classifier
 // values written back by query-time enrichment are not commits: they carry
 // no version and are guarded by tuple generations instead.
 type DB struct {
-	store *storage.DB
+	store storage.Store
 	mgr   *enrich.Manager
 
 	// commitMu serializes the write path; version is the commit counter it
@@ -151,13 +151,13 @@ func (db *DB) CreateRelation(name string, cols []Column) error {
 	if err != nil {
 		return err
 	}
-	_, err = db.store.CreateTable(schema)
+	_, err = db.store.CreateBase(schema)
 	return err
 }
 
 // CreateIndex builds a hash index on a fixed column.
 func (db *DB) CreateIndex(relation, column string) error {
-	tbl, err := db.store.Base(relation)
+	tbl, err := db.store.BaseTable(relation)
 	if err != nil {
 		return err
 	}
@@ -168,7 +168,7 @@ func (db *DB) CreateIndex(relation, column string) error {
 // Derived attributes should be inserted as Null (they are enriched at query
 // time). A zero id auto-assigns.
 func (db *DB) Insert(relation string, id int64, values ...Value) (int64, error) {
-	tbl, err := db.store.Base(relation)
+	tbl, err := db.store.BaseTable(relation)
 	if err != nil {
 		return 0, err
 	}
@@ -225,7 +225,7 @@ func (db *DB) InsertEnriched(relation string, id int64, values ...Value) (int64,
 // resets its enrichment state (§3.3.5 of the paper): stale derived values
 // must be recomputed.
 func (db *DB) Update(relation string, id int64, column string, v Value) error {
-	tbl, err := db.store.Base(relation)
+	tbl, err := db.store.BaseTable(relation)
 	if err != nil {
 		return err
 	}
@@ -257,7 +257,7 @@ func (db *DB) Update(relation string, id int64, column string, v Value) error {
 
 // Delete removes a tuple and its enrichment state.
 func (db *DB) Delete(relation string, id int64) error {
-	tbl, err := db.store.Base(relation)
+	tbl, err := db.store.BaseTable(relation)
 	if err != nil {
 		return err
 	}
@@ -343,6 +343,14 @@ type EnrichmentServerConfig struct {
 	// Workers sets the server's parallel enrichment width (0 or 1
 	// sequential, negative = GOMAXPROCS).
 	Workers int
+	// FaultLatency, if positive, delays every batch this server executes —
+	// a degraded (slow) fleet member for fault testing.
+	FaultLatency time.Duration
+	// FaultErrorRate, if positive, fails roughly that fraction of requests
+	// (0..1) with injected errors, deterministically from FaultSeed.
+	FaultErrorRate float64
+	// FaultSeed seeds the injected-error stream (used when FaultErrorRate>0).
+	FaultSeed int64
 }
 
 // ServeEnrichment starts an enrichment server for the loose design on addr
@@ -354,15 +362,11 @@ func (db *DB) ServeEnrichment(addr string) (string, error) {
 
 // ServeEnrichmentConfig is ServeEnrichment with explicit robustness knobs.
 func (db *DB) ServeEnrichmentConfig(addr string, cfg EnrichmentServerConfig) (string, error) {
-	srv, bound, err := remote.ServeEnricher(addr,
-		&loose.LocalEnricher{Mgr: db.mgr, Workers: cfg.Workers},
-		remote.ServerOptions{MaxConns: cfg.MaxConns, DrainTimeout: cfg.DrainTimeout,
-			Telemetry: db.mgr.Telemetry()})
+	h, err := db.ServeEnrichmentHandle(addr, cfg)
 	if err != nil {
 		return "", err
 	}
-	db.servers = append(db.servers, srv)
-	return bound, nil
+	return h.Addr(), nil
 }
 
 // EnrichmentClientConfig tunes ConnectEnrichmentServerConfig. The zero value
@@ -402,26 +406,20 @@ func (db *DB) ConnectEnrichmentServerConfig(addr string, cfg EnrichmentClientCon
 		return err
 	}
 	client.ExtraLatency = cfg.ExtraLatency
-	if old, ok := db.enricher.(*remote.Client); ok {
-		old.Close()
-	}
+	db.closeEnricher()
 	db.enricher = client
 	return nil
 }
 
 // UseLocalEnrichment reverts the loose design to in-process enrichment.
 func (db *DB) UseLocalEnrichment() {
-	if old, ok := db.enricher.(*remote.Client); ok {
-		old.Close()
-	}
+	db.closeEnricher()
 	db.enricher = &loose.LocalEnricher{Mgr: db.mgr}
 }
 
 // Close releases transports started by this DB.
 func (db *DB) Close() error {
-	if c, ok := db.enricher.(*remote.Client); ok {
-		c.Close()
-	}
+	db.closeEnricher()
 	for _, s := range db.servers {
 		s.Close()
 	}

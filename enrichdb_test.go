@@ -20,7 +20,14 @@ func buildReviewDB(t *testing.T) (*DB, [][]float64, []int) {
 // data into a schema-and-models-only instance.
 func reviewDBWith(t *testing.T, insert bool) (*DB, [][]float64, []int) {
 	t.Helper()
-	db := Open()
+	return reviewDBOn(t, Open(), insert)
+}
+
+// reviewDBOn seeds an existing (empty) database with the deterministic
+// Reviews fixture — the sharded≡unsharded equivalence battery seeds Open()
+// and OpenSharded() instances identically through it.
+func reviewDBOn(t *testing.T, db *DB, insert bool) (*DB, [][]float64, []int) {
+	t.Helper()
 	err := db.CreateRelation("Reviews", []Column{
 		{Name: "id", Kind: KindInt},
 		{Name: "features", Kind: KindVector},

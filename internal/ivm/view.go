@@ -122,7 +122,7 @@ type spjEntry struct {
 // New creates an empty view for the analyzed query and materializes it from
 // the current database contents (the paper's query-setup step in epoch e₀).
 // The provided ExecCtx collects evaluation counters; pass nil for a fresh one.
-func New(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) (*View, error) {
+func New(a *engine.Analysis, db storage.Source, ctx *engine.ExecCtx) (*View, error) {
 	if ctx == nil {
 		ctx = engine.NewExecCtx()
 	}

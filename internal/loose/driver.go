@@ -311,7 +311,9 @@ func (d *Driver) WriteBack(resps []Response) error {
 // image visible); a live table gets the generation-guarded derived write so
 // a concurrent commit's newer data is never clobbered by this stale value.
 func writeDerived(rel storage.Relation, tid int64, attr string, v types.Value, gen uint64) error {
-	if bt, ok := rel.(*storage.Table); ok {
+	if bt, ok := rel.(interface {
+		UpdateDerivedAt(id int64, col string, v types.Value, gen uint64) (bool, error)
+	}); ok {
 		_, err := bt.UpdateDerivedAt(tid, attr, v, gen)
 		return err
 	}

@@ -44,7 +44,7 @@ func (d Design) String() string {
 type Config struct {
 	Design Design
 	Query  string
-	DB     *storage.DB
+	DB     storage.Store
 	Mgr    *enrich.Manager
 
 	// Enricher is the loose design's enrichment server; defaults to an
@@ -561,7 +561,7 @@ func (r *Result) currentRows(view *ivm.View, a *engine.Analysis, cfg Config, ctx
 	return rows
 }
 
-func executePlain(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) ([]*expr.Row, error) {
+func executePlain(a *engine.Analysis, db storage.Source, ctx *engine.ExecCtx) ([]*expr.Row, error) {
 	plan, err := engine.Build(a, db)
 	if err != nil {
 		return nil, err
@@ -570,7 +570,7 @@ func executePlain(a *engine.Analysis, db *storage.DB, ctx *engine.ExecCtx) ([]*e
 }
 
 // snapshotPlanned clones each planned tuple once, keyed by (relation, tid).
-func snapshotPlanned(db *storage.DB, plan []PlanItem) map[[2]interface{}]*types.Tuple {
+func snapshotPlanned(db storage.Source, plan []PlanItem) map[[2]interface{}]*types.Tuple {
 	snaps := make(map[[2]interface{}]*types.Tuple)
 	for _, it := range plan {
 		k := [2]interface{}{it.Relation, it.TID}
@@ -588,7 +588,7 @@ func snapshotPlanned(db *storage.DB, plan []PlanItem) map[[2]interface{}]*types.
 	return snaps
 }
 
-func deltasFromSnapshots(db *storage.DB, snaps map[[2]interface{}]*types.Tuple) []ivm.TupleDelta {
+func deltasFromSnapshots(db storage.Source, snaps map[[2]interface{}]*types.Tuple) []ivm.TupleDelta {
 	var out []ivm.TupleDelta
 	for k, old := range snaps {
 		rel := k[0].(string)
@@ -682,7 +682,7 @@ func runLooseEpoch(cfg Config, sched *enrich.Scheduler, plan []PlanItem, epoch i
 		if err != nil {
 			return err
 		}
-		tbl, err := cfg.DB.Base(k.rel)
+		tbl, err := cfg.DB.BaseTable(k.rel)
 		if err != nil {
 			return err
 		}
@@ -893,7 +893,7 @@ func targetsSummary(plan []PlanItem) string {
 // registerStorageGauges publishes the database's storage counters as
 // storage.* gauges, computed at snapshot time. Registering the same DB twice
 // (repeated runs over one manager) just replaces the closures.
-func registerStorageGauges(reg *telemetry.Registry, db *storage.DB) {
+func registerStorageGauges(reg *telemetry.Registry, db storage.Store) {
 	reg.GaugeFunc("storage.inserts", func() int64 { return db.Stats().Inserts })
 	reg.GaugeFunc("storage.deletes", func() int64 { return db.Stats().Deletes })
 	reg.GaugeFunc("storage.updates", func() int64 { return db.Stats().Updates })
@@ -909,7 +909,7 @@ var errTupleGone = errors.New("progressive: tuple deleted during epoch")
 
 // featureOf reads the tuple's feature vector for a derived attribute plus
 // the fixed-data generation of the tuple image it was read from.
-func featureOf(db *storage.DB, relation string, tid int64, attr string) ([]float64, uint64, error) {
+func featureOf(db storage.Source, relation string, tid int64, attr string) ([]float64, uint64, error) {
 	tbl, err := db.Table(relation)
 	if err != nil {
 		return nil, 0, err

@@ -1,0 +1,334 @@
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"enrichdb/internal/loose"
+	"enrichdb/internal/loose/remote"
+	"enrichdb/internal/telemetry"
+	"enrichdb/internal/testutil"
+	"enrichdb/internal/types"
+)
+
+// echoEnricher is a deterministic server-side enricher: every request
+// succeeds with a probability vector derived from its TID, after an optional
+// delay (atomic, so tests can slow a server mid-flight).
+type echoEnricher struct {
+	delayNS atomic.Int64
+}
+
+func (e *echoEnricher) EnrichBatch(reqs []loose.Request) ([]loose.Response, loose.BatchTiming, error) {
+	if d := time.Duration(e.delayNS.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	out := make([]loose.Response, len(reqs))
+	for i, r := range reqs {
+		out[i] = loose.Response{Relation: r.Relation, TID: r.TID, Attr: r.Attr,
+			FnID: r.FnID, Gen: r.Gen, Probs: []float64{float64(r.TID), 1}}
+	}
+	return out, loose.BatchTiming{}, nil
+}
+
+func (e *echoEnricher) Close() error { return nil }
+
+// startServers brings up n enrichment servers and returns their addresses,
+// per-server enrichers (for delay injection), server handles and a
+// close-everything func. Tests register the leak check FIRST and this
+// closer second, so the servers are down before goroutines are counted.
+func startServers(t *testing.T, n int) ([]string, []*echoEnricher, []*remote.Server, func()) {
+	t.Helper()
+	addrs := make([]string, n)
+	enrichers := make([]*echoEnricher, n)
+	servers := make([]*remote.Server, n)
+	for i := 0; i < n; i++ {
+		enrichers[i] = &echoEnricher{}
+		srv, bound, err := remote.ServeEnricher("127.0.0.1:0", enrichers[i], remote.ServerOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i], servers[i] = bound, srv
+	}
+	return addrs, enrichers, servers, func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+}
+
+func makeReqs(n int) []loose.Request {
+	reqs := make([]loose.Request, n)
+	for i := range reqs {
+		reqs[i] = loose.Request{Relation: "Events", TID: int64(i + 1), Attr: "label", Gen: 1}
+	}
+	return reqs
+}
+
+func checkResponses(t *testing.T, reqs []loose.Request, resps []loose.Response) {
+	t.Helper()
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses for %d requests", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if r.Failed() {
+			t.Fatalf("response %d failed: %s", i, r.Err)
+		}
+		if r.TID != reqs[i].TID {
+			t.Fatalf("response %d out of order: TID %d, want %d", i, r.TID, reqs[i].TID)
+		}
+		if len(r.Probs) != 2 || r.Probs[0] != float64(reqs[i].TID) {
+			t.Fatalf("response %d payload wrong: %v", i, r.Probs)
+		}
+	}
+}
+
+func TestFleetBasic(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, _, _, closeAll := startServers(t, 3)
+	defer closeAll()
+	reg := telemetry.NewRegistry()
+	fleet, err := DialFleet(addrs, FleetOptions{Telemetry: reg, HedgeDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	reqs := makeReqs(500)
+	resps, _, err := fleet.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponses(t, reqs, resps)
+	snap := reg.Snapshot()
+	if snap.Counters["shard.fleet_batches"] != 1 {
+		t.Fatalf("fleet_batches = %d, want 1", snap.Counters["shard.fleet_batches"])
+	}
+	// 500 requests over 3 shards at sub-batch 64 is at least 8 jobs.
+	if jobs := snap.Counters["shard.fleet_jobs"]; jobs < 8 {
+		t.Fatalf("fleet_jobs = %d, want >= 8", jobs)
+	}
+}
+
+func TestJobQueueStealOrder(t *testing.T) {
+	q := &jobQueue{jobs: []*job{{home: 0}, {home: 0}, {home: 1}}}
+	// A dispatcher takes its own shard's jobs first...
+	j, stolen, ok := q.take(1)
+	if !ok || stolen || j.home != 1 {
+		t.Fatalf("take(1) = home %d stolen %v, want own home-1 job", j.home, stolen)
+	}
+	// ...and steals the oldest foreign job once its home queue is dry.
+	j, stolen, ok = q.take(1)
+	if !ok || !stolen || j.home != 0 {
+		t.Fatalf("take(1) on foreign queue = home %d stolen %v, want oldest home-0 steal", j.home, stolen)
+	}
+	if _, _, ok := q.take(0); !ok {
+		t.Fatal("last job unreachable")
+	}
+	if _, _, ok := q.take(0); ok {
+		t.Fatal("empty queue returned a job")
+	}
+}
+
+func TestFleetWorkStealing(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, _, _, closeAll := startServers(t, 2)
+	defer closeAll()
+	reg := telemetry.NewRegistry()
+	// Sub-batch of 1 so every request is its own job, and every TID chosen
+	// to hash home to shard 0 — dispatcher 1 has no home work, so each job
+	// it drains is deterministically a steal.
+	fleet, err := DialFleet(addrs, FleetOptions{Telemetry: reg, HedgeDelay: -1, SubBatch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	var reqs []loose.Request
+	for tid := int64(1); len(reqs) < 200; tid++ {
+		if fleet.part.Route(types.NewInt(tid)) != 0 {
+			continue
+		}
+		reqs = append(reqs, loose.Request{Relation: "Events", TID: tid, Attr: "label", Gen: 1})
+	}
+	resps, _, err := fleet.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponses(t, reqs, resps)
+	snap := reg.Snapshot()
+	if snap.Counters["shard.fleet_steals"] == 0 {
+		t.Fatal("idle dispatcher never stole from a loaded shard's backlog")
+	}
+}
+
+func TestFleetHedgeBeatsStraggler(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, enrichers, _, closeAll := startServers(t, 2)
+	defer closeAll()
+	// Server 0 is a straggler; ties route to the lowest index, so the single
+	// job's primary is 0 and the hedge must win on 1.
+	enrichers[0].delayNS.Store(int64(400 * time.Millisecond))
+	reg := telemetry.NewRegistry()
+	fleet, err := DialFleet(addrs, FleetOptions{Telemetry: reg, HedgeDelay: 10 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := makeReqs(4)
+	start := time.Now()
+	resps, _, err := fleet.EnrichBatch(reqs)
+	wall := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponses(t, reqs, resps)
+	if wall >= 400*time.Millisecond {
+		t.Fatalf("hedge did not beat the straggler: wall %v", wall)
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["shard.hedge_launched"] == 0 {
+		t.Fatal("no hedge launched against a 400ms straggler with a 10ms delay")
+	}
+	if snap.Counters["shard.hedge_wins"] == 0 {
+		t.Fatal("hedge launched but never won")
+	}
+	// Close the fleet, then let the leak check prove the losing hedge
+	// goroutine (still waiting on the slow server) drains instead of leaking.
+	fleet.Close()
+}
+
+func TestFleetHedgeDisabled(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, enrichers, _, closeAll := startServers(t, 2)
+	defer closeAll()
+	enrichers[0].delayNS.Store(int64(60 * time.Millisecond))
+	reg := telemetry.NewRegistry()
+	fleet, err := DialFleet(addrs, FleetOptions{Telemetry: reg, HedgeDelay: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	reqs := makeReqs(4)
+	resps, _, err := fleet.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponses(t, reqs, resps)
+	if got := reg.Snapshot().Counters["shard.hedge_launched"]; got != 0 {
+		t.Fatalf("hedging disabled but %d hedges launched", got)
+	}
+}
+
+func TestFleetFailoverToSurvivors(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, _, servers, closeAll := startServers(t, 3)
+	defer closeAll()
+	reg := telemetry.NewRegistry()
+	fleet, err := DialFleet(addrs, FleetOptions{
+		Telemetry:  reg,
+		HedgeDelay: -1,
+		Client:     remote.Options{MaxRetries: -1, CallTimeout: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	// Kill one server: its share of the batch fails over to the survivors
+	// and the whole batch still succeeds.
+	servers[1].Close()
+	reqs := makeReqs(300)
+	resps, _, err := fleet.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkResponses(t, reqs, resps)
+	if got := reg.Snapshot().Counters["shard.fleet_failovers"]; got == 0 {
+		t.Fatal("a dead server produced zero failovers")
+	}
+}
+
+func TestFleetTotalFailureDegrades(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, _, servers, closeAll := startServers(t, 2)
+	defer closeAll()
+	fleet, err := DialFleet(addrs, FleetOptions{
+		HedgeDelay: -1,
+		Client:     remote.Options{MaxRetries: -1, CallTimeout: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+	for _, s := range servers {
+		s.Close()
+	}
+	reqs := makeReqs(10)
+	resps, _, err := fleet.EnrichBatch(reqs)
+	if err != nil {
+		t.Fatalf("total backend failure must degrade per request, got batch error %v", err)
+	}
+	if len(resps) != len(reqs) {
+		t.Fatalf("got %d responses, want %d", len(resps), len(reqs))
+	}
+	for i, r := range resps {
+		if !r.Failed() {
+			t.Fatalf("response %d succeeded with every backend down", i)
+		}
+		if r.TID != reqs[i].TID {
+			t.Fatalf("degraded response %d misaligned", i)
+		}
+	}
+}
+
+func TestFleetDialErrors(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	if _, err := DialFleet(nil, FleetOptions{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := DialFleet([]string{"127.0.0.1:1"}, FleetOptions{
+		Client: remote.Options{MaxRetries: -1, CallTimeout: 200 * time.Millisecond},
+	}); err == nil {
+		t.Fatal("unreachable backend accepted")
+	}
+}
+
+func TestFleetManyBatchesNoLeak(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+	addrs, enrichers, _, closeAll := startServers(t, 3)
+	defer closeAll()
+	enrichers[2].delayNS.Store(int64(5 * time.Millisecond))
+	fleet, err := DialFleet(addrs, FleetOptions{HedgeDelay: time.Millisecond, SubBatch: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 20; b++ {
+		reqs := makeReqs(64)
+		resps, _, err := fleet.EnrichBatch(reqs)
+		if err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		checkResponses(t, reqs, resps)
+	}
+	if err := fleet.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fleet.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestFleetLeastLoadedPick(t *testing.T) {
+	f := &Fleet{backends: []*backend{{}, {}, {}}}
+	f.backends[0].inflight.Store(5)
+	f.backends[1].inflight.Store(1)
+	f.backends[2].inflight.Store(1)
+	if got := f.pick(0); got != 1 {
+		t.Fatalf("pick = %d, want least-loaded lowest-index 1", got)
+	}
+	if got := f.pick(1 << 1); got != 2 {
+		t.Fatalf("pick excluding 1 = %d, want 2", got)
+	}
+	if got := f.pick(0b111); got != -1 {
+		t.Fatalf("pick with all excluded = %d, want -1", got)
+	}
+	_ = fmt.Sprint() // keep fmt import if asserts change
+}

@@ -1,0 +1,316 @@
+package shard
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"enrichdb/internal/catalog"
+	"enrichdb/internal/storage"
+	"enrichdb/internal/types"
+)
+
+func eventsSchema(t *testing.T) *catalog.Schema {
+	t.Helper()
+	sc, err := catalog.NewSchema("Events", []catalog.Column{
+		{Name: "id", Kind: types.KindInt},
+		{Name: "kind", Kind: types.KindString},
+		{Name: "label", Kind: types.KindString, Derived: true, FeatureCol: "kind", Domain: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// newStores builds an unsharded DB and a sharded store over the same schema,
+// the oracle pair most tests compare.
+func newStores(t *testing.T, cfg Config) (*storage.DB, storage.BaseTable, *Store, storage.BaseTable) {
+	t.Helper()
+	un := storage.NewDB()
+	ut, err := un.CreateTable(eventsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := New(cfg)
+	st, err := sh.CreateBase(eventsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return un, ut, sh, st
+}
+
+func insertN(t *testing.T, tbl storage.BaseTable, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		tu := &types.Tuple{Vals: []types.Value{
+			types.NewInt(int64(i + 1)),
+			types.NewString(fmt.Sprintf("k%d", i%7)),
+			types.Null,
+		}}
+		if _, err := tbl.Insert(tu); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func tupleOrder(tbl storage.Relation) []int64 {
+	var out []int64
+	for _, tu := range tbl.Tuples() {
+		out = append(out, tu.ID)
+	}
+	return out
+}
+
+func TestShardedTuplesMatchUnshardedOrder(t *testing.T) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			_, ut, _, st := newStores(t, Config{Shards: shards})
+			insertN(t, ut, 100)
+			insertN(t, st, 100)
+			// Interleave deletes to exercise tombstones + compaction.
+			for _, id := range []int64{3, 50, 97, 12, 13, 14, 15, 16, 17, 18} {
+				ut.Delete(id)
+				st.Delete(id)
+			}
+			if got, want := tupleOrder(st), tupleOrder(ut); !reflect.DeepEqual(got, want) {
+				t.Fatalf("merged order diverged:\n got %v\nwant %v", got, want)
+			}
+			if st.Len() != ut.Len() {
+				t.Fatalf("Len = %d, want %d", st.Len(), ut.Len())
+			}
+		})
+	}
+}
+
+func TestShardedAutoIDMirrorsUnsharded(t *testing.T) {
+	_, ut, _, st := newStores(t, Config{Shards: 4})
+	mk := func(id int64) *types.Tuple {
+		return &types.Tuple{ID: id, Vals: []types.Value{types.NewInt(id), types.NewString("x"), types.Null}}
+	}
+	// Auto, explicit ahead, auto again: ids must track the unsharded contract.
+	for _, id := range []int64{0, 0, 42, 0, 7, 0} {
+		uid, err := ut.Insert(mk(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sid, err := st.Insert(mk(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if uid != sid {
+			t.Fatalf("auto-id diverged: unsharded %d, sharded %d", uid, sid)
+		}
+	}
+	// Duplicate id rejected in both.
+	if _, err := ut.Insert(mk(42)); err == nil {
+		t.Fatal("unsharded accepted duplicate id")
+	}
+	if _, err := st.Insert(mk(42)); err == nil {
+		t.Fatal("sharded accepted duplicate id")
+	}
+}
+
+func TestShardedGenGuard(t *testing.T) {
+	_, _, _, st := newStores(t, Config{Shards: 4})
+	insertN(t, st, 10)
+	id := int64(5)
+	gen := st.Gen(id)
+	// Write-back at the current generation lands.
+	ok, err := st.UpdateDerivedAt(id, "label", types.NewString("cat"), gen)
+	if err != nil || !ok {
+		t.Fatalf("UpdateDerivedAt at gen %d: ok=%v err=%v", gen, ok, err)
+	}
+	// A fixed-column commit bumps the generation...
+	newGen, err := st.CommitFixed(id, "kind", types.NewString("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newGen <= gen {
+		t.Fatalf("CommitFixed gen %d did not advance past %d", newGen, gen)
+	}
+	// ...and a stale write-back is a silent no-op.
+	ok, err = st.UpdateDerivedAt(id, "label", types.NewString("stale"), gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("stale-generation write-back landed")
+	}
+	if got := st.Get(id).Vals[2]; got.Kind() != types.KindNull {
+		t.Fatalf("derived value after stale write = %v, want NULL (cleared by commit)", got)
+	}
+}
+
+func TestShardedIndexTuplesMatchUnsharded(t *testing.T) {
+	_, ut, _, st := newStores(t, Config{Shards: 4})
+	if err := ut.CreateIndex("kind"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.CreateIndex("kind"); err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, ut, 60)
+	insertN(t, st, 60)
+	for _, id := range []int64{8, 22, 36} {
+		ut.Delete(id)
+		st.Delete(id)
+	}
+	if !st.HasIndex("kind") || st.HasIndex("label") {
+		t.Fatal("HasIndex wrong on facade")
+	}
+	for k := 0; k < 7; k++ {
+		key := types.NewString(fmt.Sprintf("k%d", k))
+		us, uok := ut.IndexTuples("kind", key)
+		ss, sok := st.IndexTuples("kind", key)
+		if uok != sok {
+			t.Fatalf("IndexTuples ok diverged for %v", key)
+		}
+		uIDs := make([]int64, len(us))
+		for i, tu := range us {
+			uIDs[i] = tu.ID
+		}
+		sIDs := make([]int64, len(ss))
+		for i, tu := range ss {
+			sIDs[i] = tu.ID
+		}
+		if !reflect.DeepEqual(uIDs, sIDs) {
+			t.Fatalf("index scan for %v diverged:\n got %v\nwant %v", key, sIDs, uIDs)
+		}
+	}
+}
+
+func TestSplitRangePreservesEverything(t *testing.T) {
+	sh := New(Config{Shards: 4, Ranges: []int64{1000}})
+	st, err := sh.CreateBase(eventsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, st, 200)
+	// Enrich a few and commit one so generations are non-trivial.
+	for _, id := range []int64{10, 60, 110} {
+		if _, err := st.UpdateDerivedAt(id, "label", types.NewString("pre"), st.Gen(id)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.CommitFixed(60, "kind", types.NewString("bumped")); err != nil {
+		t.Fatal(err)
+	}
+
+	type state struct {
+		order []int64
+		gens  map[int64]uint64
+		vals  map[int64]string
+	}
+	capture := func() state {
+		s := state{gens: map[int64]uint64{}, vals: map[int64]string{}}
+		for _, tu := range st.Tuples() {
+			s.order = append(s.order, tu.ID)
+			s.gens[tu.ID] = tu.Gen
+			if tu.Vals[2].Kind() == types.KindString {
+				s.vals[tu.ID] = tu.Vals[2].Str()
+			}
+		}
+		return s
+	}
+	before := capture()
+	preVersions := sh.Versions()
+
+	moved, err := sh.SplitRange("Events", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved == 0 {
+		t.Fatal("split at 100 moved nothing (ids 100..200 should re-route)")
+	}
+	after := capture()
+	if !reflect.DeepEqual(before.order, after.order) {
+		t.Fatalf("merged order changed across rebalance:\nbefore %v\nafter  %v", before.order, after.order)
+	}
+	if !reflect.DeepEqual(before.gens, after.gens) {
+		t.Fatal("tuple generations changed across rebalance")
+	}
+	if !reflect.DeepEqual(before.vals, after.vals) {
+		t.Fatal("derived values changed across rebalance")
+	}
+	// The split is a placement commit: the vector strictly advances.
+	for i, v := range sh.Versions() {
+		if v <= preVersions[i] {
+			t.Fatalf("shard %d version %d did not advance past %d", i, v, preVersions[i])
+		}
+	}
+	// Moved tuples answer point reads at their new home.
+	if sh.ShardOf("Events", 150) == sh.ShardOf("Events", 50) {
+		t.Log("note: split landed 150 and 50 on the same shard (legal under rotation)")
+	}
+	if st.Get(150) == nil {
+		t.Fatal("tuple 150 unreachable after rebalance")
+	}
+	// Splitting a hash-partitioned table errors.
+	hs := New(Config{Shards: 2})
+	if _, err := hs.CreateBase(eventsSchema(t)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.SplitRange("Events", 5); err == nil {
+		t.Fatal("SplitRange on hash partitioning should error")
+	}
+}
+
+func TestFreezeSnapshotIsolationAndVector(t *testing.T) {
+	sh := New(Config{Shards: 3})
+	st, err := sh.CreateBase(eventsSchema(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertN(t, st, 30)
+	snap := sh.Freeze().(*Snap)
+	vec := snap.Versions()
+	if len(vec) != 3 {
+		t.Fatalf("vector len %d, want 3", len(vec))
+	}
+	frozen, err := snap.Table("Events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := tupleOrder(st)
+	// Mutate the live store: the frozen view must not move.
+	insertN(t, st, 10)
+	st.Delete(4)
+	if got := tupleOrder(frozen); !reflect.DeepEqual(got, wantOrder) {
+		t.Fatalf("frozen view drifted:\n got %v\nwant %v", got, wantOrder)
+	}
+	// The live vector advanced past the frozen one on at least one shard.
+	live := sh.Versions()
+	advanced := false
+	for i := range live {
+		if live[i] < vec[i] {
+			t.Fatalf("live vector went backwards on shard %d", i)
+		}
+		if live[i] > vec[i] {
+			advanced = true
+		}
+	}
+	if !advanced {
+		t.Fatal("vector did not advance after commits")
+	}
+	// Session-local derived writes are visible through the frozen view only.
+	if _, err := frozen.Update(7, "label", types.NewString("local")); err != nil {
+		t.Fatal(err)
+	}
+	if got := frozen.Get(7).Vals[2]; got.Kind() != types.KindString || got.Str() != "local" {
+		t.Fatalf("frozen Get(7) derived = %v, want session-local 'local'", got)
+	}
+	found := false
+	for _, tu := range frozen.Tuples() {
+		if tu.ID == 7 {
+			found = tu.Vals[2].Kind() == types.KindString && tu.Vals[2].Str() == "local"
+		}
+	}
+	if !found {
+		t.Fatal("frozen Tuples() does not fold in the session-local write")
+	}
+	// Gen-guarded write-through landed on the live replica too.
+	if got := st.Get(7).Vals[2]; got.Kind() != types.KindString || got.Str() != "local" {
+		t.Fatalf("live write-through missing: %v", got)
+	}
+}

@@ -43,6 +43,43 @@ var (
 	_ Source = (*Snapshot)(nil)
 )
 
+// BaseTable is the mutable surface of a stored base relation: everything the
+// commit path and the enrichment write-back need beyond Relation. The live
+// *Table satisfies it directly; a sharded table facade satisfies it by
+// routing each call to the owning shard replica.
+type BaseTable interface {
+	Relation
+	Insert(tu *types.Tuple) (int64, error)
+	Delete(id int64) *types.Tuple
+	CommitFixed(id int64, col string, v types.Value) (uint64, error)
+	UpdateDerivedAt(id int64, col string, v types.Value, gen uint64) (bool, error)
+	Gen(id int64) uint64
+	CreateIndex(col string) error
+}
+
+var _ BaseTable = (*Table)(nil)
+
+// Store is the full storage surface the database layer commits through: name
+// resolution for reads (Source) plus base-table access for writes, DDL,
+// aggregate stats, and point-in-time freezing. The single-node *DB and a
+// sharded store both satisfy it, so everything above storage is
+// placement-agnostic.
+type Store interface {
+	Source
+	// BaseTable resolves the named mutable base relation (a *Table, or a
+	// sharded facade over N of them).
+	BaseTable(name string) (BaseTable, error)
+	// CreateBase registers the schema and allocates its base relation.
+	CreateBase(s *catalog.Schema) (BaseTable, error)
+	// Freeze returns a consistent point-in-time Source over every relation.
+	Freeze() Source
+	// Stats aggregates the storage counters of every table (and, for a
+	// sharded store, every shard replica).
+	Stats() TableStats
+}
+
+var _ Store = (*DB)(nil)
+
 // DB groups the catalog and the stored tables of one database instance. The
 // tables map is guarded so table creation can race query execution; the
 // tables themselves carry their own locks.
@@ -89,6 +126,23 @@ func (d *DB) Base(name string) (*Table, error) {
 		return nil, fmt.Errorf("storage: unknown relation %s", name)
 	}
 	return t, nil
+}
+
+// BaseTable returns the named table as a BaseTable; the Store interface's
+// view of Base (Go method sets forbid covariant returns, so the interface
+// needs its own name).
+func (d *DB) BaseTable(name string) (BaseTable, error) {
+	return d.Base(name)
+}
+
+// CreateBase is CreateTable under the Store interface.
+func (d *DB) CreateBase(s *catalog.Schema) (BaseTable, error) {
+	return d.CreateTable(s)
+}
+
+// Freeze is Snapshot under the Store interface.
+func (d *DB) Freeze() Source {
+	return d.Snapshot()
 }
 
 // Stats aggregates the storage counters of every table; the progressive

@@ -7,6 +7,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"enrichdb/internal/catalog"
@@ -25,11 +26,12 @@ import (
 type Table struct {
 	schema *catalog.Schema
 
-	mu     sync.RWMutex
-	slab   []*types.Tuple // insertion order; nil entries are tombstones
-	slot   map[int64]int  // tuple id -> slab position
-	live   int            // non-tombstone count
-	nextID int64
+	mu      sync.RWMutex
+	slab    []*types.Tuple // insertion order; nil entries are tombstones
+	slot    map[int64]int  // tuple id -> slab position
+	live    int            // non-tombstone count
+	nextID  int64
+	nextSeq uint64 // local insertion-sequence counter for Seq-less inserts
 
 	indexes map[string]*hashIndex // fixed-column name -> index
 
@@ -103,6 +105,14 @@ func (t *Table) Insert(tu *types.Tuple) (int64, error) {
 	}
 	if _, dup := t.slot[tu.ID]; dup {
 		return 0, fmt.Errorf("storage: %s: duplicate tuple id %d", t.schema.Name, tu.ID)
+	}
+	// Stamp the insertion sequence unless the caller (a sharded facade, or a
+	// rebalance move preserving the original sequence) already did. Index
+	// lookups order their results by it, so index-scan output order is
+	// insertion order regardless of intervening deletes.
+	if tu.Seq == 0 {
+		t.nextSeq++
+		tu.Seq = t.nextSeq
 	}
 	t.slot[tu.ID] = len(t.slab)
 	t.slab = append(t.slab, tu)
@@ -410,6 +420,10 @@ func (t *Table) IndexTuples(col string, v types.Value) ([]*types.Tuple, bool) {
 			out = append(out, t.slab[i])
 		}
 	}
+	// Posting lists are swap-remove unordered; return insertion order so an
+	// index scan's output order is placement- and delete-history-independent
+	// (the sharded≡unsharded equivalence contract depends on this).
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
 	return out, true
 }
 

@@ -27,10 +27,27 @@ const Groups = 4
 // over model (testutil.StepModel when nil), and rows seeded rows
 // (deterministic in seed). Admission control is left to the caller.
 func New(rows int, seed int64, model ml.Classifier) (*enrichdb.DB, error) {
+	return NewSharded(rows, seed, model, 1)
+}
+
+// NewSharded is New on a sharded store: the same workload partitioned
+// across `shards` replicas (shards <= 1 keeps the classic unsharded
+// database). Query answers are byte-identical either way; the serving tier
+// and the load generator use it to measure scatter-gather under wire load.
+func NewSharded(rows int, seed int64, model ml.Classifier, shards int) (*enrichdb.DB, error) {
 	if model == nil {
 		model = testutil.StepModel()
 	}
-	db := enrichdb.Open()
+	var db *enrichdb.DB
+	if shards > 1 {
+		var err error
+		db, err = enrichdb.OpenSharded(enrichdb.ShardConfig{Shards: shards})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = enrichdb.Open()
+	}
 	err := db.CreateRelation(Relation, []enrichdb.Column{
 		{Name: "id", Kind: enrichdb.KindInt},
 		{Name: "feature", Kind: enrichdb.KindVector},

@@ -260,7 +260,9 @@ func (rt *Runtime) ReadUDF(relation string, tid int64, attr string) (types.Value
 		// data superseded since the feature was read, the value silently
 		// stays off the (now different or absent) base tuple. A snapshot
 		// view's Update carries its own generation guard.
-		if bt, ok := tbl.(*storage.Table); ok {
+		if bt, ok := tbl.(interface {
+			UpdateDerivedAt(id int64, col string, v types.Value, gen uint64) (bool, error)
+		}); ok {
 			if _, err := bt.UpdateDerivedAt(tid, attr, v, gen); err != nil {
 				return types.Null, err
 			}

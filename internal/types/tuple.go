@@ -16,8 +16,14 @@ import (
 // update (copy-on-write) instead of mutating Vals in place, so a scan's
 // snapshot of tuple pointers stays consistent under concurrent writers.
 type Tuple struct {
-	ID   int64
-	Gen  uint64
+	ID  int64
+	Gen uint64
+	// Seq is the tuple's global insertion sequence number. Unsharded storage
+	// leaves it zero (slab order already is insertion order); sharded storage
+	// assigns it at insert so a k-way merge of per-shard slabs by Seq
+	// reproduces the exact unsharded insertion order, independent of how the
+	// partitioner placed (or later rebalanced) the tuple.
+	Seq  uint64
 	Vals []Value
 }
 
@@ -27,7 +33,7 @@ type Tuple struct {
 func (t *Tuple) Clone() *Tuple {
 	vals := make([]Value, len(t.Vals))
 	copy(vals, t.Vals)
-	return &Tuple{ID: t.ID, Gen: t.Gen, Vals: vals}
+	return &Tuple{ID: t.ID, Gen: t.Gen, Seq: t.Seq, Vals: vals}
 }
 
 // String renders the tuple for debugging.

@@ -54,6 +54,9 @@ type ProgressiveOptions struct {
 	// MaxEpochs bounds the run (default 200).
 	MaxEpochs int
 	Seed      int64
+	// Workers sets the run's parallel enrichment/scan width (0 or 1
+	// sequential; the answer is byte-identical at any width).
+	Workers int
 	// Quality, when set, scores the current answer after every epoch (for
 	// example against ground truth); the series feeds ProgressiveScore.
 	Quality func(*Rows) float64
@@ -217,6 +220,7 @@ func (db *DB) QueryProgressive(query string, opts ProgressiveOptions) (*Progress
 		EpochBudget:    opts.EpochBudget,
 		MaxEpochs:      opts.MaxEpochs,
 		Seed:           opts.Seed,
+		Workers:        opts.Workers,
 		InvokeOverhead: db.TightInvokeOverhead,
 		CollectDeltas:  true, // backs OnDelta and DeltaSince
 		Tracer:         tracer,

@@ -5,6 +5,7 @@ import (
 
 	"enrichdb/internal/engine"
 	"enrichdb/internal/expr"
+	"enrichdb/internal/shard"
 )
 
 // Rows is a materialized query result.
@@ -87,13 +88,26 @@ func (db *DB) Query(query string) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctx := engine.NewExecCtx()
+	ctx.Adapt = db.runtimeStats
+	ctx.NoAdaptive = db.NoAdaptive
+	// On a sharded store, eligible single-table shapes fan out across the
+	// shards and merge by insertion sequence — byte-identical answer,
+	// parallel scan.
+	if sc, ok := db.store.(shard.Scatterable); ok {
+		rows, schema, hit, err := shard.Scatter(a, sc, ctx)
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			db.Telemetry().Counter("shard.scatter_queries").Add(1)
+			return wrapRows(schema, rows), nil
+		}
+	}
 	plan, err := engine.Build(a, db.store)
 	if err != nil {
 		return nil, err
 	}
-	ctx := engine.NewExecCtx()
-	ctx.Adapt = db.runtimeStats
-	ctx.NoAdaptive = db.NoAdaptive
 	rows, err := plan.Execute(ctx)
 	if err != nil {
 		return nil, err

@@ -11,6 +11,7 @@ import (
 
 	"enrichdb/internal/engine"
 	"enrichdb/internal/loose"
+	"enrichdb/internal/shard"
 	"enrichdb/internal/storage"
 	"enrichdb/internal/telemetry"
 	"enrichdb/internal/tight"
@@ -316,7 +317,7 @@ func (db *DB) Version() uint64 { return db.version.Load() }
 // for concurrent use by multiple goroutines.
 type Session struct {
 	db      *DB
-	snap    *storage.Snapshot
+	snap    storage.Source
 	version uint64
 	tenant  string
 	adm     *admission  // nil when admission control is off
@@ -348,7 +349,7 @@ func (db *DB) SessionFor(tenant string) (*Session, error) {
 	// relations and carries exactly one commit version.
 	db.commitMu.Lock()
 	version := db.version.Load()
-	snap := db.store.Snapshot()
+	snap := db.store.Freeze()
 	db.commitMu.Unlock()
 	reg.Gauge("serve.sessions_active").Add(1)
 	if tenant != "" {
@@ -430,15 +431,31 @@ func (s *Session) QueryObsCtx(ctx context.Context, query string, obs QueryObs) (
 	if err != nil {
 		return nil, nil, err
 	}
-	plan, err := engine.Build(a, s.snap)
-	if err != nil {
-		return nil, nil, err
-	}
 	ec := engine.NewExecCtx()
 	ec.Done = ctx.Done()
 	ec.Adapt = s.db.runtimeStats
 	ec.NoAdaptive = s.db.NoAdaptive
 	prof := newProfiler(obs)
+	// Sharded snapshots fan eligible single-table shapes out across the
+	// per-shard frozen views (byte-identical merged answer). Profiled runs
+	// take the single-plan path so the operator tree stays meaningful.
+	if sc, ok := s.snap.(shard.Scatterable); ok && prof == nil {
+		rows, schema, hit, serr := shard.Scatter(a, sc, ec)
+		if serr != nil {
+			if errors.Is(serr, engine.ErrCanceled) && ctx.Err() != nil {
+				return nil, nil, ctx.Err()
+			}
+			return nil, nil, serr
+		}
+		if hit {
+			s.db.Telemetry().Counter("shard.scatter_queries").Add(1)
+			return wrapRows(schema, rows), nil, nil
+		}
+	}
+	plan, err := engine.Build(a, s.snap)
+	if err != nil {
+		return nil, nil, err
+	}
 	ec.Prof = prof
 	sp := s.obsTracer(obs).Start("plain.execute")
 	rows, err := plan.Execute(ec)

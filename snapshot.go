@@ -52,7 +52,10 @@ func (db *DB) SaveSnapshot(w io.Writer) error {
 	defer db.commitMu.Unlock()
 	snap := snapshot{Version: snapshotVersion}
 	for _, rel := range db.store.Catalog().Relations() {
-		tbl := db.store.MustTable(rel)
+		tbl, err := db.store.BaseTable(rel)
+		if err != nil {
+			return err
+		}
 		schema := tbl.Schema()
 		rs := relationSnapshot{Name: rel}
 		for _, c := range schema.Cols {

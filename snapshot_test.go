@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"enrichdb/internal/storage"
 )
 
 func TestSnapshotRoundTrip(t *testing.T) {
@@ -170,7 +172,7 @@ func TestSnapshotConcurrentEnrichmentAndTombstones(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	stats := src.store.MustTable("Events").Stats()
+	stats := src.store.(*storage.DB).MustTable("Events").Stats()
 	if stats.Compactions == 0 {
 		t.Fatalf("setup: expected at least one compaction, stats %+v", stats)
 	}
